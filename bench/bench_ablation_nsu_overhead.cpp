@@ -1,0 +1,106 @@
+// Ablation: NSU size and flooding overhead (§5.1.1 footnote 3).
+//
+// NSUs are larger than IS-IS LSPs because they carry demand information.
+// The paper's worst case: a 200-node network with 5 traffic classes and
+// all-pairs demand adds ~4 KB per router -- under 4 us of transmission
+// time on a 10 Gbps link. We measure the *real wire encoding* across our
+// topologies, worst-case (all-pairs) and realistic (gravity) demand sets,
+// plus the flooding message complexity per event from the functional
+// emulation.
+
+#include "bench_common.hpp"
+#include "core/local_state.hpp"
+#include "core/wire.hpp"
+#include "sim/convergence.hpp"
+#include "sim/emulation.hpp"
+
+using namespace dsdn;
+
+namespace {
+
+std::size_t worst_case_nsu_bytes(const topo::Topology& topo,
+                                 topo::NodeId self, int classes_per_pair) {
+  // All-pairs demand from `self`, every class populated.
+  traffic::TrafficMatrix tm;
+  for (topo::NodeId d = 0; d < topo.num_nodes(); ++d) {
+    if (d == self) continue;
+    for (int c = 0; c < classes_per_pair; ++c) {
+      tm.add({self, d,
+              static_cast<metrics::PriorityClass>(
+                  c % metrics::kNumPriorityClasses),
+              1.0});
+    }
+  }
+  tm = tm.aggregated();
+  const auto prefixes = topo::assign_router_prefixes(topo);
+  core::SimTelemetry telemetry(&topo, &tm, prefixes);
+  core::LocalState ls(self);
+  return core::serialize_nsu(ls.snapshot(telemetry)).size();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: NSU wire size and flooding overhead");
+
+  struct Entry {
+    const char* name;
+    topo::Topology topo;
+  };
+  std::vector<Entry> entries;
+  for (const auto& z : topo::zoo_catalog())
+    entries.push_back({z.name, z.factory()});
+  entries.push_back({"B4 (synthetic)", topo::make_b4_like()});
+  entries.push_back({"B2 (synthetic)", topo::make_b2_like()});
+
+  std::printf("worst case: all-pairs demand, %d-class encoding "
+              "(paper footnote 3: 200 nodes / 5 classes ~ 4 KB, <4 us at "
+              "10 Gbps)\n\n",
+              metrics::kNumPriorityClasses);
+  std::printf("%-16s %6s %14s %16s %18s\n", "topology", "nodes",
+              "NSU bytes", "tx @10Gbps", "tx @100Gbps");
+  for (const auto& e : entries) {
+    // The busiest router: highest degree (most link adverts).
+    topo::NodeId busiest = 0;
+    for (topo::NodeId n = 0; n < e.topo.num_nodes(); ++n) {
+      if (e.topo.node(n).out_links.size() >
+          e.topo.node(busiest).out_links.size()) {
+        busiest = n;
+      }
+    }
+    const std::size_t bytes = worst_case_nsu_bytes(
+        e.topo, busiest, metrics::kNumPriorityClasses);
+    std::printf("%-16s %6zu %11.1f KB %13.1f us %15.2f us\n", e.name,
+                e.topo.num_nodes(), static_cast<double>(bytes) / 1024.0,
+                static_cast<double>(bytes) * 8.0 / 10e9 * 1e6,
+                static_cast<double>(bytes) * 8.0 / 100e9 * 1e6);
+  }
+
+  // Flooding message complexity: from the functional emulation, messages
+  // per single-fiber event (each NSU crosses each link at most once).
+  std::printf("\nflooding cost per failure event (functional emulation, "
+              "real controllers):\n");
+  {
+    auto topo = topo::make_b4_like();
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.1;
+    auto tm = traffic::generate_gravity(topo, gp);
+    sim::DsdnEmulation wan(topo, tm);
+    wan.bootstrap();
+    const auto fibers = sim::pick_failure_fibers(wan.network(), 3, 0xAB2);
+    for (topo::LinkId fiber : fibers) {
+      const std::size_t before = wan.messages_delivered();
+      wan.fail_fiber(fiber);
+      const std::size_t per_event = wan.messages_delivered() - before;
+      std::printf("  event: %zu NSU deliveries (%zu directed links in "
+                  "the network; 2 origins => bound %zu)\n",
+                  per_event, wan.network().num_links(),
+                  2 * wan.network().num_links());
+      wan.repair_fiber(fiber);
+    }
+  }
+  std::printf("\nshape check: NSU sizes stay KB-scale even at B2 size -- "
+              "demand info adds microseconds of transmission per 10G hop, "
+              "negligible against propagation delay.\n");
+  return 0;
+}

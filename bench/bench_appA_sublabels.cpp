@@ -1,0 +1,66 @@
+// Appendix A: MPLS sublabel encoding properties across topologies --
+// sublabel counts vs the 2k bound, per-router table sizes vs the ~2k^2
+// bound (and the many-tens-of-thousands hardware limit), and label-stack
+// compression for long paths.
+
+#include "bench_common.hpp"
+#include "dataplane/sublabel.hpp"
+#include "te/dijkstra.hpp"
+
+using namespace dsdn;
+
+int main() {
+  bench::banner("Appendix A: sublabel encoding across topologies");
+
+  struct Entry {
+    std::string name;
+    topo::Topology topo;
+  };
+  std::vector<Entry> entries;
+  for (const auto& z : topo::zoo_catalog())
+    entries.push_back({z.name, z.factory()});
+  entries.push_back({"B4 (synthetic)", topo::make_b4_like()});
+  entries.push_back({"B2 (synthetic)", topo::make_b2_like()});
+
+  std::printf("%-16s %6s %7s %8s %10s %11s %10s %9s\n", "topology", "nodes",
+              "fibers", "max-deg", "sublabels", "2*(2k-1)", "max-table",
+              "avg-table");
+  for (const auto& e : entries) {
+    const auto a = dataplane::assign_sublabels(e.topo);
+    const std::size_t k = e.topo.max_degree();
+    std::size_t max_table = 0, total_table = 0;
+    for (topo::NodeId n = 0; n < e.topo.num_nodes(); ++n) {
+      const auto fib = dataplane::SublabelFib::build(e.topo, n, a);
+      max_table = std::max(max_table, fib.size());
+      total_table += fib.size();
+    }
+    std::printf("%-16s %6zu %7zu %8zu %10zu %11zu %10zu %9zu\n",
+                e.name.c_str(), e.topo.num_nodes(), e.topo.num_links() / 2, k,
+                a.num_sublabels_used(), 2 * (2 * k - 1), max_table,
+                total_table / e.topo.num_nodes());
+  }
+
+  // Compression: stack depth for the diameter path of each topology.
+  std::printf("\n%-16s %10s %14s %16s\n", "topology", "diameter",
+              "plain labels", "sublabel labels");
+  for (const auto& e : entries) {
+    // Longest shortest path from node 0 as a representative long route.
+    const auto tree = te::shortest_path_tree(e.topo, 0);
+    const te::Path* longest = nullptr;
+    for (const auto& p : tree) {
+      if (!p.empty() && (!longest || p.hops() > longest->hops())) longest = &p;
+    }
+    if (!longest) continue;
+    const auto a = dataplane::assign_sublabels(e.topo);
+    const auto stack = dataplane::encode_sublabel_route(*longest, a);
+    std::printf("%-16s %10zu %14zu %16zu%s\n", e.name.c_str(),
+                longest->hops(), longest->hops(), stack.depth(),
+                longest->hops() > dataplane::kMaxLabelDepth
+                    ? "  (plain exceeds the 12-label limit!)"
+                    : "");
+  }
+  std::printf("\nshape check: sublabel counts stay O(max degree) -- "
+              "independent of network size -- and table sizes sit far "
+              "below the tens-of-thousands hardware limit.\n");
+  return 0;
+}

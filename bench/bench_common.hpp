@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared workload construction and reporting helpers for the per-figure
+// benchmark harnesses. Each bench binary regenerates one table/figure of
+// the paper (see DESIGN.md's per-experiment index) and prints the rows /
+// series the paper reports.
+//
+// Scale: workloads default to sizes that keep a full `for b in bench/*`
+// sweep to a few minutes on a laptop while preserving every trend the
+// paper reports. Set DSDN_BENCH_SCALE=full for paper-scale runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "metrics/distribution.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+#include "util/format.hpp"
+
+namespace dsdn::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("DSDN_BENCH_SCALE");
+  return env && std::string(env) == "full";
+}
+
+struct Workload {
+  topo::Topology topo;
+  traffic::TrafficMatrix tm;
+};
+
+// B4 stand-in: O(100) routers, O(10k) aggregated demands (§5.1.1).
+inline Workload b4_workload(double target_util = 0.6) {
+  Workload w;
+  w.topo = topo::make_b4_like();
+  traffic::GravityParams gp;
+  gp.pair_fraction = full_scale() ? 0.4 : 0.15;
+  gp.target_max_utilization = target_util;
+  gp.seed = 0xB4;
+  w.tm = traffic::generate_gravity(w.topo, gp).aggregated();
+  return w;
+}
+
+// B2 stand-in: ~6x nodes, ~10x links, ~30x flows vs B4 (§5.3).
+inline Workload b2_workload(double target_util = 0.6) {
+  Workload w;
+  w.topo = topo::make_b2_like();
+  traffic::GravityParams gp;
+  gp.pair_fraction = full_scale() ? 0.03 : 0.01;
+  gp.target_max_utilization = target_util;
+  gp.seed = 0xB2;
+  w.tm = traffic::generate_gravity(w.topo, gp).aggregated();
+  return w;
+}
+
+inline std::string dist_row(const metrics::EmpiricalDistribution& d) {
+  if (d.empty()) return "(no samples)";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "p2=%-10s p25=%-10s p50=%-10s p75=%-10s p98=%-10s mean=%-10s",
+                util::format_duration(d.percentile(2)).c_str(),
+                util::format_duration(d.percentile(25)).c_str(),
+                util::format_duration(d.percentile(50)).c_str(),
+                util::format_duration(d.percentile(75)).c_str(),
+                util::format_duration(d.percentile(98)).c_str(),
+                util::format_duration(d.mean()).c_str());
+  return buf;
+}
+
+// Same percentiles but unit-free (e.g. bad seconds).
+inline std::string dist_row_plain(const metrics::EmpiricalDistribution& d,
+                                  int decimals = 2) {
+  if (d.empty()) return "(no samples)";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "p2=%-9s p25=%-9s p50=%-9s p75=%-9s p98=%-9s mean=%-9s",
+                util::format_double(d.percentile(2), decimals).c_str(),
+                util::format_double(d.percentile(25), decimals).c_str(),
+                util::format_double(d.percentile(50), decimals).c_str(),
+                util::format_double(d.percentile(75), decimals).c_str(),
+                util::format_double(d.percentile(98), decimals).c_str(),
+                util::format_double(d.mean(), decimals).c_str());
+  return buf;
+}
+
+inline void banner(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dsdn::bench

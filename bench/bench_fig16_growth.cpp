@@ -1,0 +1,72 @@
+// Figure 16: dSDN TE runtime on B2 snapshots as the network grew over
+// three years toward ~1000 nodes, on the datacenter server vs the Arista
+// router, with a linear trendline.
+//
+// Expected shape: runtime grows steadily with network size; extrapolating
+// the trend against an operator threshold leaves many years of headroom
+// (the paper extrapolates ~15 years against RSVP-TE's 106.6 s).
+
+#include "bench_common.hpp"
+
+#include "metrics/calibration.hpp"
+#include "te/solver.hpp"
+
+using namespace dsdn;
+
+int main() {
+  bench::banner("Figure 16: Tcomp across B2 growth snapshots");
+
+  const auto snaps =
+      topo::b2_growth_snapshots(12, bench::full_scale() ? 1.0 : 0.6);
+
+  std::printf("%-9s %7s %8s  %18s  %18s\n", "snapshot", "nodes", "demands",
+              "Datacenter Server", "Arista Router");
+
+  std::vector<double> xs, ys;
+  for (const auto& snap : snaps) {
+    traffic::GravityParams gp;
+    gp.pair_fraction = bench::full_scale() ? 0.03 : 0.01;
+    gp.seed = 0xF16;
+    const auto tm = traffic::generate_gravity(snap.topo, gp).aggregated();
+    te::SolveStats stats;
+    te::Solver().solve(snap.topo, tm, &stats);
+    const double server = stats.wall_time_s;
+    std::printf("%-9s %7zu %8zu  %18s  %18s\n", snap.label,
+                snap.topo.num_nodes(), tm.size(),
+                util::format_duration(server).c_str(),
+                util::format_duration(server /
+                                      metrics::kRouterCpuSpeedRatio)
+                    .c_str());
+    xs.push_back(static_cast<double>(xs.size()));
+    ys.push_back(server);
+  }
+
+  // Least-squares trendline over snapshot index.
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / n;
+  std::printf("\ntrendline: Tcomp ~= %s + %s per quarter\n",
+              util::format_duration(intercept).c_str(),
+              util::format_duration(slope).c_str());
+  // Headroom against a threshold ~3.5x the final router-scaled runtime
+  // (the paper's threshold, RSVP-TE's 106.6s, sits ~3.5x above dSDN's
+  // 29.8s B2 convergence time).
+  const double final_router = ys.back() / metrics::kRouterCpuSpeedRatio;
+  const double threshold = 3.5 * final_router;
+  if (slope > 0) {
+    const double quarters =
+        (threshold * metrics::kRouterCpuSpeedRatio - ys.back()) / slope;
+    std::printf("extrapolated headroom to the operator threshold: "
+                "%.0f quarters (~%.0f years) of continued growth "
+                "(paper: ~15 years)\n",
+                quarters, quarters / 4.0);
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// google-benchmark microbenchmarks for the core primitives: Dijkstra /
+// CSPF, Yen k-shortest paths, label encode/decode, two-stage ingress
+// lookup, transit lookup, sublabel table build, NSU flooding-step
+// processing, and full TE solves at small scale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "dataplane/fib.hpp"
+#include "dataplane/label.hpp"
+#include "dataplane/sublabel.hpp"
+#include "te/ksp.hpp"
+#include "te/path_cache.hpp"
+#include "te/solver.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+using namespace dsdn;
+
+namespace {
+
+const topo::Topology& b4() {
+  static const topo::Topology t = topo::make_b4_like();
+  return t;
+}
+
+const traffic::TrafficMatrix& b4_tm() {
+  static const traffic::TrafficMatrix tm = [] {
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.1;
+    return traffic::generate_gravity(b4(), gp).aggregated();
+  }();
+  return tm;
+}
+
+void BM_Dijkstra_B4(benchmark::State& state) {
+  const auto& t = b4();
+  topo::NodeId dst = static_cast<topo::NodeId>(t.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::shortest_path(t, 0, dst));
+  }
+}
+BENCHMARK(BM_Dijkstra_B4);
+
+void BM_DijkstraTree_B4(benchmark::State& state) {
+  const auto& t = b4();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::shortest_path_tree(t, 0));
+  }
+}
+BENCHMARK(BM_DijkstraTree_B4);
+
+void BM_Cspf_B4(benchmark::State& state) {
+  const auto& t = b4();
+  std::vector<double> residual(t.num_links(), 50.0);
+  te::SpConstraints c;
+  c.residual_gbps = &residual;
+  c.min_residual = 1.0;
+  topo::NodeId dst = static_cast<topo::NodeId>(t.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::shortest_path(t, 0, dst, c));
+  }
+}
+BENCHMARK(BM_Cspf_B4);
+
+void BM_Yen_K16_Geant(benchmark::State& state) {
+  const auto t = topo::make_geant();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::k_shortest_paths(t, 0, 15, 16));
+  }
+}
+BENCHMARK(BM_Yen_K16_Geant);
+
+void BM_PathCacheHit(benchmark::State& state) {
+  const auto& t = b4();
+  static const te::PathCache cache(t);
+  std::vector<double> residual(t.num_links(), 50.0);
+  te::SpConstraints c;
+  c.residual_gbps = &residual;
+  c.min_residual = 1.0;
+  topo::NodeId dst = static_cast<topo::NodeId>(t.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(t, 0, dst, c));
+  }
+}
+BENCHMARK(BM_PathCacheHit);
+
+void BM_LabelEncodeDecode(benchmark::State& state) {
+  const auto t = topo::make_line(11);
+  te::Path p;
+  for (std::size_t i = 0; i + 1 < 11; ++i)
+    p.links.push_back(t.find_link(static_cast<topo::NodeId>(i),
+                                  static_cast<topo::NodeId>(i + 1)));
+  for (auto _ : state) {
+    auto stack = dataplane::encode_strict_route(p);
+    benchmark::DoNotOptimize(dataplane::decode_strict_route(stack));
+  }
+}
+BENCHMARK(BM_LabelEncodeDecode);
+
+void BM_IngressLookup(benchmark::State& state) {
+  dataplane::IngressFib fib;
+  const auto prefixes = topo::assign_router_prefixes(b4());
+  for (topo::NodeId n = 0; n < b4().num_nodes(); ++n) {
+    fib.set_prefix(prefixes[n], n);
+    dataplane::EncapEntry e;
+    e.routes.push_back({dataplane::LabelStack({17, 18, 19}), 0.5});
+    e.routes.push_back({dataplane::LabelStack({20, 21}), 0.5});
+    fib.set_routes(n, metrics::PriorityClass::kHigh, e);
+  }
+  const std::uint32_t ip = topo::host_in(prefixes[42]);
+  std::uint64_t entropy = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fib.lookup(ip, metrics::PriorityClass::kHigh, entropy++));
+  }
+}
+BENCHMARK(BM_IngressLookup);
+
+void BM_TransitLookup(benchmark::State& state) {
+  const auto fib = dataplane::build_transit_fib(b4(), 0);
+  const dataplane::Label l =
+      dataplane::link_label(b4().node(0).out_links.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.lookup(l));
+  }
+}
+BENCHMARK(BM_TransitLookup);
+
+void BM_SublabelTableBuild_B4(benchmark::State& state) {
+  const auto& t = b4();
+  const auto a = dataplane::assign_sublabels(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataplane::SublabelFib::build(t, 0, a));
+  }
+}
+BENCHMARK(BM_SublabelTableBuild_B4);
+
+void BM_NsuHandle(benchmark::State& state) {
+  const auto& t = b4();
+  core::ControllerConfig cc;
+  cc.self = 1;
+  core::Controller receiver(cc, t);
+  traffic::TrafficMatrix tm = b4_tm();
+  const auto prefixes = topo::assign_router_prefixes(t);
+  core::SimTelemetry telemetry(&t, &tm, prefixes);
+  core::ControllerConfig cc0;
+  cc0.self = 0;
+  core::Controller sender(cc0, t);
+  std::uint64_t seq = 0;
+  core::LocalState ls(0);
+  auto nsu = ls.snapshot(telemetry);
+  const topo::LinkId arrival = t.find_link(0, t.up_neighbors(0).front());
+  for (auto _ : state) {
+    nsu.seq = ++seq;
+    benchmark::DoNotOptimize(receiver.handle_nsu(nsu, arrival));
+  }
+}
+BENCHMARK(BM_NsuHandle);
+
+void BM_Solve_Abilene(benchmark::State& state) {
+  const auto t = topo::make_abilene();
+  const auto tm = traffic::generate_gravity(t);
+  te::Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(t, tm));
+  }
+}
+BENCHMARK(BM_Solve_Abilene);
+
+void BM_Solve_B4(benchmark::State& state) {
+  te::Solver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(b4(), b4_tm()));
+  }
+}
+BENCHMARK(BM_Solve_B4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// Table 2 (Appendix C): blast radius and median end-to-end latency
+// inflation for affected high-priority traffic, across 6 FRR-congestion
+// incidents, for each of the 4 bypass strategies.
+//
+// Methodology notes:
+//  - Incidents are the 6 fiber cuts whose plain-FRR bypass congestion
+//    impacts high-priority traffic the most -- mirroring the paper, which
+//    replayed the 6 worst performance alerts *attributed to FRR
+//    congestion* over a 14-day window.
+//  - Loss during the FRR window is evaluated QoS-obliviously
+//    (LossOptions.strict_priority = false): transient bypass congestion
+//    overflows shallow hardware queues before scheduler protection
+//    engages, which is how such incidents hurt high-priority traffic in
+//    production despite strict-priority configuration.
+//
+// Expected shape: plain shortest-path FRR leaves a few percent blast
+// radius; capacity-aware and multi-path strategies shrink it; k
+// capacity-aware bypasses eliminate the drops entirely at modest (but
+// sometimes >20%) median latency inflation.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "sim/flow_eval.hpp"
+#include "te/solver.hpp"
+
+using namespace dsdn;
+
+namespace {
+
+struct IncidentOutcome {
+  double blast = 0.0;
+  double latency_inflation = 1.0;
+};
+
+struct Evaluator {
+  topo::Topology& topo;
+  const traffic::TrafficMatrix& tm;
+  const sim::InstalledRouting& routing;
+  const std::vector<double>& residual;
+  const std::vector<traffic::FlowGroup>& groups;
+
+  IncidentOutcome run(topo::LinkId fiber,
+                      dataplane::BypassStrategy strategy) const {
+    const topo::LinkId rev = topo.link(fiber).reverse;
+    const auto plan = dataplane::BypassPlan::compute_for_links(
+        topo, strategy, {fiber, rev}, residual, 16);
+
+    topo.set_duplex_up(fiber, false);
+    sim::LossOptions frr_window;
+    frr_window.strict_priority = false;
+    frr_window.bypass_residual = &residual;
+    const auto report =
+        sim::evaluate_loss(topo, tm, routing, &plan, frr_window);
+
+    IncidentOutcome out;
+    out.blast = sim::blast_radius(tm, groups, report);
+
+    // Median latency inflation over affected high-priority demands.
+    traffic::TrafficMatrix affected_tm;
+    sim::InstalledRouting affected_routing;
+    for (std::size_t i = 0; i < tm.size(); ++i) {
+      const auto& d = tm.demands()[i];
+      if (d.priority != metrics::PriorityClass::kHigh) continue;
+      bool crosses = false;
+      for (const auto& wp : routing.rows[i]) {
+        for (topo::LinkId l : wp.path.links) {
+          if (l == fiber || l == rev) crosses = true;
+        }
+      }
+      if (!crosses) continue;
+      affected_tm.add(d);
+      affected_routing.rows.push_back(routing.rows[i]);
+    }
+    out.latency_inflation =
+        affected_tm.empty()
+            ? 1.0
+            : sim::median_latency_inflation(topo, affected_tm,
+                                            affected_routing,
+                                            affected_routing, &plan,
+                                            &residual);
+    topo.set_duplex_up(fiber, true);
+    return out;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2: FRR bypass strategies across 6 incidents");
+
+  // A hot network makes FRR congestion visible (these are the paper's
+  // "performance alert" scenarios).
+  auto w = bench::b4_workload(/*target_util=*/0.95);
+  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
+              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+
+  const auto solution = te::Solver().solve(w.topo, w.tm);
+  const auto routing = sim::InstalledRouting::from_solution(solution);
+  const auto residual = solution.residual_capacity(w.topo);
+  const auto groups = traffic::group_flows_of_class(
+      w.topo, w.tm, metrics::PriorityClass::kHigh);
+
+  Evaluator eval{w.topo, w.tm, routing, residual, groups};
+
+  // Incident search: among the most loaded fibers, the 6 whose plain-FRR
+  // congestion blast radius is worst.
+  std::vector<std::pair<double, topo::LinkId>> load_ranked;
+  for (const topo::Link& l : w.topo.links()) {
+    if (l.reverse == topo::kInvalidLink || l.id > l.reverse) continue;
+    const double load = (l.capacity_gbps - residual[l.id]) +
+                        (l.capacity_gbps - residual[l.reverse]);
+    load_ranked.emplace_back(load, l.id);
+  }
+  std::sort(load_ranked.rbegin(), load_ranked.rend());
+  std::vector<std::pair<double, topo::LinkId>> incident_ranked;
+  const std::size_t candidates =
+      std::min<std::size_t>(load_ranked.size(), 40);
+  for (std::size_t i = 0; i < candidates; ++i) {
+    const auto blast =
+        eval.run(load_ranked[i].second, dataplane::BypassStrategy::kShortestPath)
+            .blast;
+    incident_ranked.emplace_back(blast, load_ranked[i].second);
+  }
+  std::sort(incident_ranked.rbegin(), incident_ranked.rend());
+  incident_ranked.resize(std::min<std::size_t>(incident_ranked.size(), 6));
+
+  const dataplane::BypassStrategy strategies[] = {
+      dataplane::BypassStrategy::kShortestPath,
+      dataplane::BypassStrategy::kCapacityAware,
+      dataplane::BypassStrategy::kKShortestPaths,
+      dataplane::BypassStrategy::kKCapacityAware,
+  };
+
+  std::printf("%-4s", "#");
+  for (const auto s : strategies)
+    std::printf("  %-22s", dataplane::bypass_strategy_name(s));
+  std::printf("\n%-4s", "");
+  for (std::size_t i = 0; i < 4; ++i) std::printf("  %-22s", "blast% (lat-x)");
+  std::printf("\n");
+
+  double blast_sums[4] = {};
+  for (std::size_t inc = 0; inc < incident_ranked.size(); ++inc) {
+    std::printf("%-4zu", inc + 1);
+    for (std::size_t s = 0; s < 4; ++s) {
+      const auto out = eval.run(incident_ranked[inc].second, strategies[s]);
+      blast_sums[s] += out.blast;
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.2f%% (%.2f)", out.blast * 100.0,
+                    out.latency_inflation);
+      std::printf("  %-22s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape check: mean blast radius by strategy: ");
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::printf("%s%.2f%%", s ? " -> " : "",
+                100.0 * blast_sums[s] /
+                    static_cast<double>(incident_ranked.size()));
+  }
+  std::printf("\n(paper: FRR leaves 1-6%% blast; k-capacity-aware reaches "
+              "0.0%% on all six incidents at <=1.24x median inflation)\n");
+  return 0;
+}

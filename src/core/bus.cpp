@@ -1,0 +1,35 @@
+#include "core/bus.hpp"
+
+#include <algorithm>
+
+namespace dsdn::core {
+
+std::size_t Bus::subscribe(const std::string& topic, Handler handler) {
+  const std::size_t token = next_token_++;
+  subs_[topic].push_back({token, std::move(handler)});
+  return token;
+}
+
+void Bus::unsubscribe(const std::string& topic, std::size_t token) {
+  auto it = subs_.find(topic);
+  if (it == subs_.end()) return;
+  auto& vec = it->second;
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [token](const Sub& s) { return s.token == token; }),
+            vec.end());
+}
+
+void Bus::publish(const std::string& topic, const std::any& message) const {
+  const auto it = subs_.find(topic);
+  if (it == subs_.end()) return;
+  // Copy so handlers can (un)subscribe during delivery.
+  const auto handlers = it->second;
+  for (const Sub& s : handlers) s.handler(message);
+}
+
+std::size_t Bus::num_subscribers(const std::string& topic) const {
+  const auto it = subs_.find(topic);
+  return it == subs_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dsdn::core

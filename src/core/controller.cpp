@@ -1,0 +1,105 @@
+#include "core/controller.hpp"
+
+#include <stdexcept>
+
+namespace dsdn::core {
+
+Controller::Controller(const ControllerConfig& config,
+                       const topo::Topology& configured)
+    : config_(config),
+      state_(configured),
+      local_(config.self),
+      solve_api_(std::make_unique<LocalSolver>(config.solver_options)),
+      programmer_(config.self) {
+  if (config.self >= configured.num_nodes())
+    throw std::invalid_argument("Controller: bad self id");
+  programmer_.program_static_transit(configured, hw_);
+  transit_programmed_ = true;
+}
+
+std::vector<topo::LinkId> Controller::flood_links(
+    topo::LinkId except_arrival) const {
+  std::vector<topo::LinkId> out;
+  const topo::Topology& view = state_.view();
+  const topo::LinkId reverse_of_arrival =
+      except_arrival == topo::kInvalidLink
+          ? topo::kInvalidLink
+          : view.link(except_arrival).reverse;
+  for (topo::LinkId lid : view.node(config_.self).out_links) {
+    if (!view.link(lid).up) continue;
+    if (lid == reverse_of_arrival) continue;  // don't echo to the sender
+    out.push_back(lid);
+  }
+  return out;
+}
+
+FloodDirective Controller::originate(const TelemetrySource& telemetry) {
+  FloodDirective d;
+  d.nsu = local_.snapshot(telemetry);
+  if (!state_.apply(d.nsu))
+    throw std::logic_error("own NSU rejected by own StateDb");
+  bus_.publish_as(topics::kStateChanged, state_.digest());
+  d.out_links = flood_links(topo::kInvalidLink);
+  return d;
+}
+
+FloodDirective Controller::handle_nsu(const NodeStateUpdate& nsu,
+                                      topo::LinkId arrival_link) {
+  FloodDirective d;
+  if (nsu.origin == config_.self) {
+    // Our own NSU echoed back through the network: never re-flood (the
+    // sequence number check would reject it anyway).
+    return d;
+  }
+  if (!state_.apply(nsu)) return d;  // stale/malformed: flooding stops here
+  bus_.publish_as(topics::kNsuReceived, nsu);
+  bus_.publish_as(topics::kStateChanged, state_.digest());
+  d.nsu = nsu;
+  d.out_links = flood_links(arrival_link);
+  return d;
+}
+
+Controller::RecomputeResult Controller::recompute() {
+  Pathing pathing(config_.self, solve_api_.get());
+  PathingResult pr = pathing.compute(state_);
+  RecomputeResult result;
+  result.stats = pr.stats;
+  result.own_allocations = pr.own.size();
+  programmer_.program_prefixes(state_, hw_);
+  result.encap = programmer_.program_encap(pr.own, hw_);
+  if (config_.program_bypasses) {
+    result.bypasses = programmer_.program_bypasses(
+        state_.view(), pr.solution.residual_capacity(state_.view()),
+        config_.bypass_strategy, config_.bypass_k, hw_);
+  }
+  bus_.publish_as(topics::kSolutionReady, pr.solution);
+  return result;
+}
+
+void Controller::recover_from(const Controller& neighbor) {
+  state_.load_from(neighbor.state_);
+  local_.resume_after(state_.seq_of(config_.self));
+  bus_.publish_as(topics::kStateChanged, state_.digest());
+}
+
+std::vector<FloodDirective> Controller::resync_with(
+    const Controller& neighbor) {
+  state_.load_from(neighbor.state_);
+  bus_.publish_as(topics::kStateChanged, state_.digest());
+  std::vector<FloodDirective> out;
+  const auto links = flood_links(topo::kInvalidLink);
+  for (const NodeStateUpdate* nsu : state_.all_latest()) {
+    FloodDirective d;
+    d.nsu = *nsu;
+    d.out_links = links;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void Controller::set_solve_api(std::unique_ptr<SolveApi> api) {
+  if (!api) throw std::invalid_argument("set_solve_api: null");
+  solve_api_ = std::move(api);
+}
+
+}  // namespace dsdn::core

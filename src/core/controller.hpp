@@ -1,0 +1,104 @@
+#pragma once
+
+// The dSDN controller (§3.3, Fig 6): one per router, wiring
+// NodeStateExchange (flooding), StateDB, LocalState, Pathing, and
+// Programmer over the pub-sub Bus.
+//
+// The controller is transport-agnostic: originate()/handle_nsu() return
+// FloodDirectives naming the links an NSU should be sent on, and the
+// host (the event-driven emulation, or a gRPC transport in production)
+// performs the delivery. This keeps routing logic cleanly isolated from
+// communication details, mirroring the gRPC + link-local design.
+
+#include <memory>
+
+#include "core/bus.hpp"
+#include "core/local_state.hpp"
+#include "core/pathing.hpp"
+#include "core/programmer.hpp"
+#include "core/state_db.hpp"
+
+namespace dsdn::core {
+
+struct ControllerConfig {
+  topo::NodeId self = topo::kInvalidNode;
+  te::SolverOptions solver_options;
+  // Pre-install FRR bypasses for local links on every recompute
+  // (Appendix C: dSDN recomputes them as demand/capacity changes).
+  bool program_bypasses = true;
+  dataplane::BypassStrategy bypass_strategy =
+      dataplane::BypassStrategy::kCapacityAware;
+  std::size_t bypass_k = 4;
+};
+
+// An NSU to transmit and the local out-links to flood it on.
+struct FloodDirective {
+  NodeStateUpdate nsu;
+  std::vector<topo::LinkId> out_links;
+
+  bool empty() const { return out_links.empty(); }
+};
+
+class Controller {
+ public:
+  Controller(const ControllerConfig& config,
+             const topo::Topology& configured);
+
+  topo::NodeId self() const { return config_.self; }
+
+  // Snapshots local state, applies it to the own StateDb, and returns
+  // the NSU with every up out-link to flood it on.
+  FloodDirective originate(const TelemetrySource& telemetry);
+
+  // Processes an NSU received on `arrival_link` (kInvalidLink for a
+  // locally injected update). When accepted, the directive re-floods it
+  // on all up out-links except the reverse of the arrival link; stale or
+  // malformed NSUs yield an empty directive (flooding terminates).
+  FloodDirective handle_nsu(const NodeStateUpdate& nsu,
+                            topo::LinkId arrival_link);
+
+  struct RecomputeResult {
+    te::SolveStats stats;
+    Programmer::EncapReport encap;
+    Programmer::BypassReport bypasses;
+    std::size_t own_allocations = 0;
+  };
+
+  // Runs TE on the current view and programs the local dataplane:
+  // prefixes, encap routes, and (once) static transit entries.
+  RecomputeResult recompute();
+
+  const StateDb& state() const { return state_; }
+  const dataplane::RouterDataplane& dataplane() const { return hw_; }
+  dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
+  Bus& bus() { return bus_; }
+
+  // Crash recovery (§3.2): rebuild state from an immediate neighbor and
+  // resume NSU sequence numbers past anything the network saw from us.
+  void recover_from(const Controller& neighbor);
+
+  // Adjacency-up database resynchronization (IS-IS CSNP-style [7]):
+  // merges the neighbor's database, then returns flood directives for
+  // every NSU in the merged database so updates that crossed a partition
+  // reach the rest of the network. Sequence-number dedup at receivers
+  // terminates the reflood cheaply when nothing actually changed.
+  std::vector<FloodDirective> resync_with(const Controller& neighbor);
+
+  // Replaces the Solve API implementation (operator-defined control code;
+  // also how the solver could move off-box).
+  void set_solve_api(std::unique_ptr<SolveApi> api);
+
+ private:
+  std::vector<topo::LinkId> flood_links(topo::LinkId except_arrival) const;
+
+  ControllerConfig config_;
+  Bus bus_;
+  StateDb state_;
+  LocalState local_;
+  std::unique_ptr<SolveApi> solve_api_;
+  Programmer programmer_;
+  dataplane::RouterDataplane hw_;
+  bool transit_programmed_ = false;
+};
+
+}  // namespace dsdn::core

@@ -1,0 +1,74 @@
+#include "core/introspection.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace dsdn::core {
+
+ControllerStatus collect_status(const Controller& controller) {
+  ControllerStatus s;
+  s.self = controller.self();
+  const StateDb& db = controller.state();
+  s.view_digest = db.digest();
+  s.origins_heard = db.num_origins();
+  s.nsus_accepted = db.accepted();
+  s.nsus_rejected_stale = db.rejected_stale();
+  s.nsus_rejected_invalid = db.rejected_invalid();
+  for (const topo::Link& l : db.view().links()) {
+    if (l.up) {
+      ++s.links_up_in_view;
+    } else {
+      ++s.links_down_in_view;
+    }
+  }
+  const auto& hw = controller.dataplane();
+  s.prefixes = hw.ingress.num_prefixes();
+  s.encap_entries = hw.ingress.num_encap_entries();
+  s.transit_entries = hw.transit.size();
+  s.protected_links = hw.bypass.num_protected_links();
+  return s;
+}
+
+std::string render_status(const ControllerStatus& s,
+                          const topo::Topology& view) {
+  std::ostringstream os;
+  os << "dSDN controller @ " << view.node(s.self).name << " (router "
+     << s.self << ")\n";
+  os << "  view digest     : " << std::hex << s.view_digest << std::dec
+     << "\n";
+  os << "  origins heard   : " << s.origins_heard << " / "
+     << view.num_nodes() << "\n";
+  os << "  NSUs            : " << s.nsus_accepted << " accepted, "
+     << s.nsus_rejected_stale << " stale, " << s.nsus_rejected_invalid
+     << " invalid\n";
+  os << "  view link state : " << s.links_up_in_view << " up, "
+     << s.links_down_in_view << " down\n";
+  os << "  FIBs            : " << s.prefixes << " prefixes, "
+     << s.encap_entries << " encap groups, " << s.transit_entries
+     << " transit labels, " << s.protected_links << " FRR-protected links\n";
+  return os.str();
+}
+
+std::string render_fleet_digest(
+    const std::vector<ControllerStatus>& statuses) {
+  std::ostringstream os;
+  std::size_t converged = 0;
+  if (!statuses.empty()) {
+    const std::uint64_t head = statuses.front().view_digest;
+    for (const auto& s : statuses) {
+      if (s.view_digest == head) ++converged;
+    }
+  }
+  os << "fleet: " << statuses.size() << " controllers, " << converged
+     << " sharing the lead digest\n";
+  for (const auto& s : statuses) {
+    os << "  r" << util::pad_left(std::to_string(s.self), 4) << "  digest="
+       << std::hex << (s.view_digest >> 40) << std::dec << "..  heard="
+       << s.origins_heard << "  encap=" << s.encap_entries << "  frr="
+       << s.protected_links << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsdn::core

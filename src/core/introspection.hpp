@@ -1,0 +1,40 @@
+#pragma once
+
+// Monitoring/debugging interfaces (§3.3: "additional supporting modules
+// provide interfaces for monitoring internal state, debugging, and
+// configuration purposes"). Produces operator-readable snapshots of a
+// controller's state: StateDb summary, view health, FIB occupancy, and
+// the last solve's statistics.
+
+#include <string>
+
+#include "core/controller.hpp"
+
+namespace dsdn::core {
+
+struct ControllerStatus {
+  topo::NodeId self = topo::kInvalidNode;
+  std::uint64_t view_digest = 0;
+  std::size_t origins_heard = 0;
+  std::size_t nsus_accepted = 0;
+  std::size_t nsus_rejected_stale = 0;
+  std::size_t nsus_rejected_invalid = 0;
+  std::size_t links_up_in_view = 0;
+  std::size_t links_down_in_view = 0;
+  std::size_t prefixes = 0;
+  std::size_t encap_entries = 0;
+  std::size_t transit_entries = 0;
+  std::size_t protected_links = 0;
+};
+
+ControllerStatus collect_status(const Controller& controller);
+
+// Multi-line human-readable rendering ("show dsdn status").
+std::string render_status(const ControllerStatus& status,
+                          const topo::Topology& view);
+
+// One-line per-router fleet summary for a set of controllers.
+std::string render_fleet_digest(
+    const std::vector<ControllerStatus>& statuses);
+
+}  // namespace dsdn::core

@@ -1,0 +1,72 @@
+#include "core/local_state.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dsdn::core {
+
+SimTelemetry::SimTelemetry(const topo::Topology* topo,
+                           const traffic::TrafficMatrix* demands,
+                           std::vector<topo::Prefix> router_prefixes,
+                           std::vector<std::uint16_t> sublabels)
+    : topo_(topo),
+      demands_(demands),
+      router_prefixes_(std::move(router_prefixes)),
+      sublabels_(std::move(sublabels)) {}
+
+std::vector<LinkAdvert> SimTelemetry::read_links(topo::NodeId self) const {
+  std::vector<LinkAdvert> out;
+  for (topo::LinkId lid : topo_->node(self).out_links) {
+    const topo::Link& l = topo_->link(lid);
+    LinkAdvert la;
+    la.link = lid;
+    la.peer = l.dst;
+    la.up = l.up;
+    la.capacity_gbps = l.capacity_gbps;
+    la.igp_metric = l.igp_metric;
+    la.delay_s = l.delay_s;
+    if (lid < sublabels_.size()) la.sublabel = sublabels_[lid];
+    out.push_back(la);
+  }
+  return out;
+}
+
+std::vector<topo::Prefix> SimTelemetry::read_prefixes(
+    topo::NodeId self) const {
+  if (self < router_prefixes_.size()) return {router_prefixes_[self]};
+  return {};
+}
+
+std::vector<DemandAdvert> SimTelemetry::read_demands(topo::NodeId self) const {
+  // Aggregate by (egress, class) -- dSDN measures demand in-band and
+  // aggregates exactly this way (§3.2).
+  std::map<std::pair<topo::NodeId, int>, double> agg;
+  for (const traffic::Demand& d : demands_->demands()) {
+    if (d.src != self) continue;
+    agg[{d.dst, static_cast<int>(d.priority)}] += d.rate_gbps;
+  }
+  std::vector<DemandAdvert> out;
+  out.reserve(agg.size());
+  for (const auto& [key, rate] : agg) {
+    out.push_back(DemandAdvert{key.first,
+                               static_cast<metrics::PriorityClass>(key.second),
+                               rate});
+  }
+  return out;
+}
+
+NodeStateUpdate LocalState::snapshot(const TelemetrySource& telemetry) {
+  NodeStateUpdate nsu;
+  nsu.origin = self_;
+  nsu.seq = ++seq_;
+  nsu.links = telemetry.read_links(self_);
+  nsu.prefixes = telemetry.read_prefixes(self_);
+  nsu.demands = telemetry.read_demands(self_);
+  return nsu;
+}
+
+void LocalState::resume_after(std::uint64_t seq_seen_in_network) {
+  seq_ = std::max(seq_, seq_seen_in_network);
+}
+
+}  // namespace dsdn::core

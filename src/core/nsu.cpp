@@ -1,0 +1,47 @@
+#include "core/nsu.hpp"
+
+#include <set>
+
+namespace dsdn::core {
+
+const char* nsu_validity_name(NsuValidity v) {
+  switch (v) {
+    case NsuValidity::kValid: return "valid";
+    case NsuValidity::kBadOrigin: return "bad-origin";
+    case NsuValidity::kDuplicateLinkAdvert: return "duplicate-link-advert";
+    case NsuValidity::kNegativeCapacity: return "negative-capacity";
+    case NsuValidity::kNegativeDemand: return "negative-demand";
+    case NsuValidity::kSelfDemand: return "self-demand";
+    case NsuValidity::kBadPrefix: return "bad-prefix";
+  }
+  return "?";
+}
+
+NsuValidity validate_nsu(const NodeStateUpdate& nsu) {
+  if (nsu.origin == topo::kInvalidNode) return NsuValidity::kBadOrigin;
+  std::set<topo::LinkId> seen;
+  for (const LinkAdvert& l : nsu.links) {
+    if (!seen.insert(l.link).second)
+      return NsuValidity::kDuplicateLinkAdvert;
+    if (l.capacity_gbps < 0) return NsuValidity::kNegativeCapacity;
+  }
+  for (const DemandAdvert& d : nsu.demands) {
+    if (d.rate_gbps < 0) return NsuValidity::kNegativeDemand;
+    if (d.egress == nsu.origin) return NsuValidity::kSelfDemand;
+  }
+  for (const topo::Prefix& p : nsu.prefixes) {
+    if (p.len < 0 || p.len > 32) return NsuValidity::kBadPrefix;
+  }
+  return NsuValidity::kValid;
+}
+
+std::size_t nsu_wire_size(const NodeStateUpdate& nsu) {
+  std::size_t bytes = 16;  // origin + seq + framing
+  bytes += nsu.links.size() * 28;
+  bytes += nsu.prefixes.size() * 5;
+  bytes += nsu.demands.size() * 13;
+  for (const OpaqueTlv& t : nsu.tlvs) bytes += 8 + t.value.size();
+  return bytes;
+}
+
+}  // namespace dsdn::core

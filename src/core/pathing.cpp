@@ -1,0 +1,14 @@
+#include "core/pathing.hpp"
+
+namespace dsdn::core {
+
+PathingResult Pathing::compute(const StateDb& state) const {
+  PathingResult result;
+  result.solution = api_->solve(state.view(), state.demands(), &result.stats);
+  for (const te::Allocation* a : result.solution.originating_at(self_)) {
+    result.own.push_back(*a);
+  }
+  return result;
+}
+
+}  // namespace dsdn::core

@@ -1,0 +1,94 @@
+#include "core/programmer.hpp"
+
+#include "dataplane/label.hpp"
+
+namespace dsdn::core {
+
+void Programmer::program_static_transit(const topo::Topology& configured,
+                                        dataplane::RouterDataplane& hw) const {
+  hw.transit = dataplane::build_transit_fib(configured, self_);
+}
+
+void Programmer::program_prefixes(const StateDb& state,
+                                  dataplane::RouterDataplane& hw) const {
+  hw.ingress.clear_prefixes();
+  for (const auto& [prefix, egress] : state.prefix_entries()) {
+    hw.ingress.set_prefix(prefix, egress);
+  }
+}
+
+Programmer::EncapReport Programmer::program_encap(
+    const std::vector<te::Allocation>& own,
+    dataplane::RouterDataplane& hw) const {
+  EncapReport report;
+  hw.ingress.clear_routes();
+  for (const te::Allocation& a : own) {
+    dataplane::EncapEntry entry;
+    for (const te::WeightedPath& wp : a.paths) {
+      if (wp.path.hops() > dataplane::kMaxLabelDepth) {
+        ++report.routes_too_deep;
+        continue;
+      }
+      dataplane::WeightedRoute route;
+      route.stack = dataplane::encode_strict_route(wp.path);
+      route.weight = wp.weight;
+      entry.routes.push_back(std::move(route));
+      ++report.routes_installed;
+    }
+    if (!entry.routes.empty()) {
+      hw.ingress.set_routes(a.demand.dst, a.demand.priority, std::move(entry));
+    }
+  }
+  return report;
+}
+
+Programmer::BypassReport Programmer::program_bypasses(
+    const topo::Topology& view, const std::vector<double>& residual_gbps,
+    dataplane::BypassStrategy strategy, std::size_t k,
+    dataplane::RouterDataplane& hw) const {
+  BypassReport report;
+  hw.bypass.clear();
+  for (topo::LinkId lid : view.node(self_).out_links) {
+    if (!view.link(lid).up) continue;
+    const auto plan = dataplane::BypassPlan::compute_for_links(
+        view, strategy, {lid}, residual_gbps, k);
+    const auto& candidates = plan.candidates(lid);
+    if (candidates.empty()) continue;
+
+    std::vector<dataplane::WeightedRoute> routes;
+    routes.reserve(candidates.size());
+    for (std::size_t rank = 0; rank < candidates.size(); ++rank) {
+      const te::Path& p = candidates[rank];
+      double weight = 1.0;
+      switch (strategy) {
+        case dataplane::BypassStrategy::kShortestPath:
+        case dataplane::BypassStrategy::kCapacityAware:
+          weight = 1.0;  // single candidate
+          break;
+        case dataplane::BypassStrategy::kKShortestPaths:
+          weight = 1.0 / static_cast<double>(rank + 1);
+          break;
+        case dataplane::BypassStrategy::kKCapacityAware: {
+          double bottleneck = std::numeric_limits<double>::infinity();
+          for (topo::LinkId l : p.links) {
+            bottleneck = std::min(
+                bottleneck, residual_gbps.empty()
+                                ? view.link(l).capacity_gbps
+                                : residual_gbps[l]);
+          }
+          weight = std::max(bottleneck, 1e-9);
+          break;
+        }
+      }
+      routes.push_back(dataplane::WeightedRoute{
+          dataplane::encode_strict_route(p, /*enforce_depth=*/false),
+          weight});
+      ++report.routes_installed;
+    }
+    hw.bypass.set_bypasses(lid, std::move(routes));
+    ++report.links_protected;
+  }
+  return report;
+}
+
+}  // namespace dsdn::core

@@ -1,0 +1,85 @@
+#pragma once
+
+// The NodeStateDB (§3.3): merges the stream of flooded NSUs with local
+// readings into a global network view over which TE runs.
+//
+// The *structural* inventory (which routers and links exist) comes from
+// configuration, as in production networks; NSUs carry the *dynamic*
+// state: link liveness, capacity, attached prefixes, and measured demand.
+// Stale sequence numbers are rejected, which makes flooding idempotent
+// and order-insensitive -- after quiescence every router's StateDb
+// converges to the same digest (tested as the consensus-free invariant).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/nsu.hpp"
+#include "traffic/matrix.hpp"
+
+namespace dsdn::core {
+
+class StateDb {
+ public:
+  // `configured` is the structural inventory; its dynamic state seeds the
+  // initial view.
+  explicit StateDb(const topo::Topology& configured);
+
+  // Applies an NSU. Returns true if accepted (valid and strictly newer
+  // than anything seen from the origin); false for stale, duplicate, or
+  // malformed updates. Accepted updates refresh the view.
+  bool apply(const NodeStateUpdate& nsu);
+
+  // The current global network view.
+  const topo::Topology& view() const { return view_; }
+
+  // All advertised demands, aggregated by (src, egress, class).
+  traffic::TrafficMatrix demands() const;
+
+  // Prefix -> egress table assembled from NSUs.
+  const topo::PrefixTable& prefixes() const { return prefixes_; }
+
+  // Flat (prefix, egress) list in deterministic order, for programming.
+  std::vector<std::pair<topo::Prefix, topo::NodeId>> prefix_entries() const;
+
+  // Sublabel assignment advertised in NSUs (0 where unset).
+  const std::vector<std::uint16_t>& sublabels() const { return sublabels_; }
+
+  // Latest accepted NSU from an origin (nullptr if none) -- used by
+  // extensions that read opaque TLVs (e.g. algorithm coexistence).
+  const NodeStateUpdate* latest(topo::NodeId origin) const;
+
+  // Every stored NSU, ordered by origin (for database resynchronization
+  // after an adjacency comes up -- the CSNP-style exchange of [7]).
+  std::vector<const NodeStateUpdate*> all_latest() const;
+
+  std::uint64_t seq_of(topo::NodeId origin) const;
+  bool heard_from(topo::NodeId origin) const;
+  std::size_t num_origins() const { return latest_.size(); }
+
+  // Order-insensitive digest of the dynamic state; equal digests on two
+  // routers mean they will compute identical TE solutions.
+  std::uint64_t digest() const;
+
+  // Counters for monitoring/debugging.
+  std::size_t accepted() const { return accepted_; }
+  std::size_t rejected_stale() const { return rejected_stale_; }
+  std::size_t rejected_invalid() const { return rejected_invalid_; }
+
+  // Crash recovery (§3.2 fault tolerance): adopt a neighbor's entire
+  // NSU database (the restart technique of IS-IS [55]).
+  void load_from(const StateDb& neighbor);
+
+ private:
+  void apply_to_view(const NodeStateUpdate& nsu);
+
+  topo::Topology view_;
+  std::unordered_map<topo::NodeId, NodeStateUpdate> latest_;
+  topo::PrefixTable prefixes_;
+  std::vector<std::uint16_t> sublabels_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_stale_ = 0;
+  std::size_t rejected_invalid_ = 0;
+};
+
+}  // namespace dsdn::core

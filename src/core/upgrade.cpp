@@ -1,0 +1,110 @@
+#include "core/upgrade.hpp"
+
+#include <algorithm>
+
+#include "te/dijkstra.hpp"
+
+namespace dsdn::core {
+
+const char* pathing_algorithm_name(PathingAlgorithm a) {
+  switch (a) {
+    case PathingAlgorithm::kMaxMinFairTe: return "max-min-fair-te";
+    case PathingAlgorithm::kShortestPath: return "shortest-path";
+  }
+  return "?";
+}
+
+OpaqueTlv make_algorithm_tlv(PathingAlgorithm a) {
+  OpaqueTlv tlv;
+  tlv.type = kAlgorithmTlvType;
+  tlv.value = std::string(1, static_cast<char>(a));
+  return tlv;
+}
+
+std::optional<PathingAlgorithm> parse_algorithm_tlv(
+    const NodeStateUpdate& nsu) {
+  for (const OpaqueTlv& tlv : nsu.tlvs) {
+    if (tlv.type != kAlgorithmTlvType || tlv.value.size() != 1) continue;
+    const auto v = static_cast<int>(tlv.value[0]);
+    if (v == static_cast<int>(PathingAlgorithm::kMaxMinFairTe) ||
+        v == static_cast<int>(PathingAlgorithm::kShortestPath)) {
+      return static_cast<PathingAlgorithm>(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<PathingAlgorithm> algorithm_map_from_state(
+    const StateDb& state, PathingAlgorithm fallback) {
+  std::vector<PathingAlgorithm> map(state.view().num_nodes(), fallback);
+  for (topo::NodeId n = 0; n < state.view().num_nodes(); ++n) {
+    if (const NodeStateUpdate* nsu = state.latest(n)) {
+      if (const auto algo = parse_algorithm_tlv(*nsu)) map[n] = *algo;
+    }
+  }
+  return map;
+}
+
+te::Solution MixedAlgorithmSolver::solve(const topo::Topology& view,
+                                         const traffic::TrafficMatrix& demands,
+                                         te::SolveStats* stats) const {
+  // Phase 1: predict the legacy routers' capacity-oblivious placement.
+  std::vector<double> residual(view.num_links());
+  for (std::size_t l = 0; l < view.num_links(); ++l) {
+    const auto& link = view.link(static_cast<topo::LinkId>(l));
+    residual[l] = link.up ? link.capacity_gbps : 0.0;
+  }
+
+  std::vector<te::Allocation> legacy(demands.size());
+  traffic::TrafficMatrix te_demands;
+  std::vector<std::size_t> te_index;  // back-map into the output
+
+  std::vector<std::vector<te::Path>> sp_tree(view.num_nodes());
+  std::vector<char> have_tree(view.num_nodes(), 0);
+
+  const auto& rows = demands.demands();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const traffic::Demand& d = rows[i];
+    if (algorithm_of_(d.src) != PathingAlgorithm::kShortestPath) {
+      te_index.push_back(i);
+      te_demands.add(d);
+      continue;
+    }
+    if (!have_tree[d.src]) {
+      sp_tree[d.src] = te::shortest_path_tree(view, d.src);
+      have_tree[d.src] = 1;
+    }
+    te::Allocation a;
+    a.demand = d;
+    const te::Path& p = sp_tree[d.src][d.dst];
+    if (!p.empty()) {
+      a.allocated_gbps = d.rate_gbps;  // legacy sends regardless of room
+      a.paths.push_back(te::WeightedPath{p, 1.0});
+      for (topo::LinkId l : p.links) {
+        residual[l] = std::max(0.0, residual[l] - d.rate_gbps);
+      }
+    }
+    legacy[i] = std::move(a);
+  }
+
+  // Phase 2: TE for everything else, on what capacity remains.
+  const te::Solution te_solution =
+      solver_.solve(view, te_demands, stats, &residual);
+
+  // Merge in input order.
+  te::Solution out;
+  out.allocations = std::move(legacy);
+  for (std::size_t k = 0; k < te_index.size(); ++k) {
+    out.allocations[te_index[k]] = te_solution.allocations[k];
+  }
+  // Demands with no rows yet (legacy but disconnected) keep empty
+  // allocations with their demand filled in.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (out.allocations[i].demand.src == topo::kInvalidNode) {
+      out.allocations[i].demand = rows[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace dsdn::core

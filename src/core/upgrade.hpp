@@ -1,0 +1,71 @@
+#pragma once
+
+// Algorithm coexistence during controller rollouts (§3.2, "Upgrades").
+//
+// dSDN assumes every controller solves the global TE problem identically,
+// but operator code upgrades mean different algorithm versions coexist
+// mid-rollout. Source routing keeps forwarding *correct* regardless
+// (packets follow the headend's choice, loop-free); the risk is
+// congestion from controllers mispredicting each other's placement.
+//
+// The paper's remedy, implemented here: each controller advertises which
+// algorithm it runs in an opaque NSU TLV; TE controllers first compute
+// the placement the non-TE controllers will make (e.g. capacity-oblivious
+// shortest path), deduct it from capacity, and run TE for the remaining
+// demands. Every router -- old or new -- thereby predicts the same global
+// placement, preserving the consensus-free property across the rollout.
+
+#include <functional>
+#include <optional>
+
+#include "core/pathing.hpp"
+
+namespace dsdn::core {
+
+enum class PathingAlgorithm {
+  kMaxMinFairTe = 0,   // the stock solver
+  kShortestPath = 1,   // capacity-oblivious IGP shortest path (legacy)
+};
+
+const char* pathing_algorithm_name(PathingAlgorithm a);
+
+// TLV carrying the originator's algorithm (one byte of payload).
+inline constexpr std::uint32_t kAlgorithmTlvType = 0xA190;
+
+OpaqueTlv make_algorithm_tlv(PathingAlgorithm a);
+
+// Reads the algorithm TLV from an NSU; nullopt when absent/garbled.
+// Absent means "pre-TLV controller", which the rollout plan treats as
+// kMaxMinFairTe by default.
+std::optional<PathingAlgorithm> parse_algorithm_tlv(const NodeStateUpdate&);
+
+// Per-router algorithm map assembled from a StateDb's TLVs. Routers we
+// have not heard an algorithm from are assumed to run `fallback`.
+std::vector<PathingAlgorithm> algorithm_map_from_state(
+    const StateDb& state,
+    PathingAlgorithm fallback = PathingAlgorithm::kMaxMinFairTe);
+
+// SolveApi that accounts for what algorithm each headend runs:
+//   1. demands originated by kShortestPath routers are placed on their
+//      IGP shortest paths (capacity-oblivious, full rate), draining
+//      residual capacity;
+//   2. the stock solver places the remaining demands on what is left.
+// The output covers all demands in input order, so Pathing/Programmer
+// work unchanged.
+class MixedAlgorithmSolver final : public SolveApi {
+ public:
+  using AlgorithmOf = std::function<PathingAlgorithm(topo::NodeId)>;
+
+  MixedAlgorithmSolver(te::SolverOptions options, AlgorithmOf algorithm_of)
+      : solver_(options), algorithm_of_(std::move(algorithm_of)) {}
+
+  te::Solution solve(const topo::Topology& view,
+                     const traffic::TrafficMatrix& demands,
+                     te::SolveStats* stats) const override;
+
+ private:
+  te::Solver solver_;
+  AlgorithmOf algorithm_of_;
+};
+
+}  // namespace dsdn::core

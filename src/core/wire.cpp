@@ -1,0 +1,281 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+
+namespace dsdn::core {
+
+namespace {
+
+// Section types.
+constexpr std::uint16_t kSectionLinks = 1;
+constexpr std::uint16_t kSectionPrefixes = 2;
+constexpr std::uint16_t kSectionDemands = 3;
+constexpr std::uint16_t kSectionTlv = 4;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) {
+    std::uint64_t raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    u64(raw);
+  }
+  void raw(const std::string& s) {
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  // Patches a previously reserved u32 length slot.
+  std::size_t reserve_u32() {
+    const std::size_t at = bytes_.size();
+    u32(0);
+    return at;
+  }
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    bytes_[at] = static_cast<std::uint8_t>(v);
+    bytes_[at + 1] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[at + 2] = static_cast<std::uint8_t>(v >> 16);
+    bytes_[at + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (at_ + 1 > limit_) return false;
+    v = bytes_[at_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t a, b;
+    if (!u8(a) || !u8(b)) return false;
+    v = static_cast<std::uint16_t>(a | (b << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t a, b;
+    if (!u16(a) || !u16(b)) return false;
+    v = static_cast<std::uint32_t>(a) | (static_cast<std::uint32_t>(b) << 16);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint32_t a, b;
+    if (!u32(a) || !u32(b)) return false;
+    v = static_cast<std::uint64_t>(a) | (static_cast<std::uint64_t>(b) << 32);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t raw;
+    if (!u64(raw)) return false;
+    std::memcpy(&v, &raw, sizeof(v));
+    return true;
+  }
+  bool str(std::size_t n, std::string& out) {
+    if (at_ + n > limit_) return false;
+    out.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(at_),
+               bytes_.begin() + static_cast<std::ptrdiff_t>(at_ + n));
+    at_ += n;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (at_ + n > limit_) return false;
+    at_ += n;
+    return true;
+  }
+  std::size_t at() const { return at_; }
+  std::size_t remaining() const { return limit_ - at_; }
+  bool done() const { return at_ == limit_; }
+
+  // Narrows the readable window to the next n bytes; returns the old
+  // limit for restore.
+  bool push_limit(std::size_t n, std::size_t& saved) {
+    if (at_ + n > limit_) return false;
+    saved = limit_;
+    limit_ = at_ + n;
+    return true;
+  }
+  void pop_limit(std::size_t saved) { limit_ = saved; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t at_ = 0;
+  std::size_t limit_ = SIZE_MAX;
+
+ public:
+  void init_limit() { limit_ = bytes_.size(); }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_nsu(const NodeStateUpdate& nsu) {
+  Writer w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u32(nsu.origin);
+  w.u64(nsu.seq);
+
+  auto begin_section = [&](std::uint16_t type) {
+    w.u16(type);
+    return w.reserve_u32();
+  };
+  auto end_section = [&](std::size_t len_at) {
+    w.patch_u32(len_at, static_cast<std::uint32_t>(w.size() - len_at - 4));
+  };
+
+  {
+    const auto at = begin_section(kSectionLinks);
+    w.u32(static_cast<std::uint32_t>(nsu.links.size()));
+    for (const LinkAdvert& l : nsu.links) {
+      w.u32(l.link);
+      w.u32(l.peer);
+      w.u8(l.up ? 1 : 0);
+      w.f64(l.capacity_gbps);
+      w.f64(l.igp_metric);
+      w.f64(l.delay_s);
+      w.u16(l.sublabel);
+    }
+    end_section(at);
+  }
+  {
+    const auto at = begin_section(kSectionPrefixes);
+    w.u32(static_cast<std::uint32_t>(nsu.prefixes.size()));
+    for (const topo::Prefix& p : nsu.prefixes) {
+      w.u32(p.addr);
+      w.u8(static_cast<std::uint8_t>(p.len));
+    }
+    end_section(at);
+  }
+  {
+    const auto at = begin_section(kSectionDemands);
+    w.u32(static_cast<std::uint32_t>(nsu.demands.size()));
+    for (const DemandAdvert& d : nsu.demands) {
+      w.u32(d.egress);
+      w.u8(static_cast<std::uint8_t>(d.priority));
+      w.f64(d.rate_gbps);
+    }
+    end_section(at);
+  }
+  for (const OpaqueTlv& tlv : nsu.tlvs) {
+    const auto at = begin_section(kSectionTlv);
+    w.u32(tlv.type);
+    w.u32(static_cast<std::uint32_t>(tlv.value.size()));
+    w.raw(tlv.value);
+    end_section(at);
+  }
+  return w.take();
+}
+
+std::optional<NodeStateUpdate> parse_nsu(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() > kMaxWireSize) return std::nullopt;
+  Reader r(bytes);
+  r.init_limit();
+
+  std::uint32_t magic;
+  std::uint16_t version;
+  NodeStateUpdate nsu;
+  if (!r.u32(magic) || magic != kWireMagic) return std::nullopt;
+  if (!r.u16(version) || version != kWireVersion) return std::nullopt;
+  if (!r.u32(nsu.origin)) return std::nullopt;
+  if (!r.u64(nsu.seq)) return std::nullopt;
+
+  while (!r.done()) {
+    std::uint16_t type;
+    std::uint32_t length;
+    if (!r.u16(type) || !r.u32(length)) return std::nullopt;
+    if (length > r.remaining()) return std::nullopt;
+    std::size_t saved;
+    if (!r.push_limit(length, saved)) return std::nullopt;
+    switch (type) {
+      case kSectionLinks: {
+        std::uint32_t n;
+        if (!r.u32(n)) return std::nullopt;
+        // 35 bytes per advert (u32+u32+u8+3*f64+u16); bound n before
+        // reserving.
+        if (static_cast<std::size_t>(n) * 35 != r.remaining())
+          return std::nullopt;
+        nsu.links.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          LinkAdvert l;
+          std::uint8_t up;
+          if (!r.u32(l.link) || !r.u32(l.peer) || !r.u8(up) ||
+              !r.f64(l.capacity_gbps) || !r.f64(l.igp_metric) ||
+              !r.f64(l.delay_s) || !r.u16(l.sublabel)) {
+            return std::nullopt;
+          }
+          l.up = up != 0;
+          nsu.links.push_back(l);
+        }
+        break;
+      }
+      case kSectionPrefixes: {
+        std::uint32_t n;
+        if (!r.u32(n)) return std::nullopt;
+        if (static_cast<std::size_t>(n) * 5 != r.remaining())
+          return std::nullopt;
+        nsu.prefixes.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          topo::Prefix p;
+          std::uint8_t len;
+          if (!r.u32(p.addr) || !r.u8(len)) return std::nullopt;
+          p.len = len;
+          nsu.prefixes.push_back(p);
+        }
+        break;
+      }
+      case kSectionDemands: {
+        std::uint32_t n;
+        if (!r.u32(n)) return std::nullopt;
+        if (static_cast<std::size_t>(n) * 13 != r.remaining())
+          return std::nullopt;
+        nsu.demands.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          DemandAdvert d;
+          std::uint8_t cls;
+          if (!r.u32(d.egress) || !r.u8(cls) || !r.f64(d.rate_gbps))
+            return std::nullopt;
+          if (cls >= metrics::kNumPriorityClasses) return std::nullopt;
+          d.priority = static_cast<metrics::PriorityClass>(cls);
+          nsu.demands.push_back(d);
+        }
+        break;
+      }
+      case kSectionTlv: {
+        OpaqueTlv tlv;
+        std::uint32_t value_len;
+        if (!r.u32(tlv.type) || !r.u32(value_len)) return std::nullopt;
+        if (value_len != r.remaining()) return std::nullopt;
+        if (!r.str(value_len, tlv.value)) return std::nullopt;
+        nsu.tlvs.push_back(std::move(tlv));
+        break;
+      }
+      default:
+        // Unknown section from a newer controller: skip it whole.
+        if (!r.skip(r.remaining())) return std::nullopt;
+        break;
+    }
+    if (!r.done()) return std::nullopt;  // trailing bytes inside section
+    r.pop_limit(saved);
+  }
+  return nsu;
+}
+
+}  // namespace dsdn::core

@@ -1,0 +1,43 @@
+#pragma once
+
+// NSU wire format: the byte encoding dSDN controllers exchange over
+// gRPC (§3.3). gRPC abstracts chunking and reliable transfer; this layer
+// defines the payload itself -- a compact TLV-framed binary format so
+// that old controllers skip fields they don't understand (the
+// extensibility story of §3.2, mirroring IS-IS TLVs [39]).
+//
+// Layout (little-endian):
+//   magic   u32  'DSDN'
+//   version u16
+//   origin  u32
+//   seq     u64
+//   then a sequence of sections, each: type u16 | length u32 | payload
+//
+// parse() never trusts input: truncated, oversized, or inconsistent
+// buffers yield std::nullopt, and a parsed NSU still goes through
+// validate_nsu() before a StateDb accepts it.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/nsu.hpp"
+
+namespace dsdn::core {
+
+inline constexpr std::uint32_t kWireMagic = 0x4453444Eu;  // "DSDN"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+// Hard cap on accepted message size (a malformed length field must not
+// drive allocation).
+inline constexpr std::size_t kMaxWireSize = 1 << 22;  // 4 MiB
+
+std::vector<std::uint8_t> serialize_nsu(const NodeStateUpdate& nsu);
+
+// Strict parse; nullopt on any malformation. Unknown section types are
+// skipped (forward compatibility); unknown *field* bytes inside known
+// sections are rejected.
+std::optional<NodeStateUpdate> parse_nsu(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dsdn::core

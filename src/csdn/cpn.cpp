@@ -1,0 +1,18 @@
+#include "csdn/cpn.hpp"
+
+namespace dsdn::csdn {
+
+void ControlPlaneNetwork::set_partitioned(topo::NodeId router,
+                                          bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(router);
+  } else {
+    partitioned_.erase(router);
+  }
+}
+
+bool ControlPlaneNetwork::is_partitioned(topo::NodeId router) const {
+  return partitioned_.contains(router);
+}
+
+}  // namespace dsdn::csdn

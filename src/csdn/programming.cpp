@@ -1,0 +1,33 @@
+#include "csdn/programming.hpp"
+
+#include <algorithm>
+
+namespace dsdn::csdn {
+
+PathProgrammingTime two_phase_program(
+    const topo::Topology& topo, const te::Path& path,
+    const metrics::ProgrammingLatencyModel& model, util::Rng& rng) {
+  PathProgrammingTime t;
+  const auto nodes = path.node_sequence(topo);
+  // Transit routers: every node after the headend and before the egress.
+  for (std::size_t i = 1; i + 1 < nodes.size(); ++i) {
+    t.transit_complete_s =
+        std::max(t.transit_complete_s, model.sample_transit(nodes[i], rng));
+  }
+  const topo::NodeId headend = nodes.empty() ? 0 : nodes.front();
+  t.enabled_s = t.transit_complete_s + model.sample_encap(headend, rng);
+  return t;
+}
+
+double demand_switch_time(const topo::Topology& topo,
+                          const std::vector<te::WeightedPath>& paths,
+                          const metrics::ProgrammingLatencyModel& model,
+                          util::Rng& rng) {
+  double t = 0.0;
+  for (const te::WeightedPath& wp : paths) {
+    t = std::max(t, two_phase_program(topo, wp.path, model, rng).enabled_s);
+  }
+  return t;
+}
+
+}  // namespace dsdn::csdn

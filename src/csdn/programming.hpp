@@ -1,0 +1,35 @@
+#pragma once
+
+// cSDN's two-phase make-before-break path programming (§4, Appendix B).
+//
+// For a path of n links: (a) its n-1 transit routers are programmed in
+// parallel; (b) each acks back to the controller; (c) once all acks
+// arrive, the controller enables the new path at the headend (encap
+// entry). The path is gated by its slowest transit router; network-wide
+// convergence is gated by the slowest path -- the tail-multiplication
+// effect Fig 19 quantifies.
+
+#include "metrics/calibration.hpp"
+#include "te/types.hpp"
+
+namespace dsdn::csdn {
+
+struct PathProgrammingTime {
+  double transit_complete_s = 0.0;  // phase (a)+(b): max over transit routers
+  double enabled_s = 0.0;           // + phase (c): headend encap entry
+};
+
+// Samples the two-phase programming duration for one path (relative to
+// when the controller issues it).
+PathProgrammingTime two_phase_program(
+    const topo::Topology& topo, const te::Path& path,
+    const metrics::ProgrammingLatencyModel& model, util::Rng& rng);
+
+// Samples the per-demand switch time: the max enable time over the
+// demand's (possibly several) new paths.
+double demand_switch_time(const topo::Topology& topo,
+                          const std::vector<te::WeightedPath>& paths,
+                          const metrics::ProgrammingLatencyModel& model,
+                          util::Rng& rng);
+
+}  // namespace dsdn::csdn

@@ -1,0 +1,118 @@
+#include "dataplane/fib.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dsdn::dataplane {
+
+void IngressFib::set_prefix(const topo::Prefix& p, topo::NodeId egress) {
+  prefixes_.insert(p, egress);
+}
+
+void IngressFib::clear_prefixes() { prefixes_.clear(); }
+
+void IngressFib::set_routes(topo::NodeId egress,
+                            metrics::PriorityClass priority,
+                            EncapEntry entry) {
+  if (entry.routes.empty()) {
+    encap_.erase({egress, static_cast<int>(priority)});
+    return;
+  }
+  double total = 0.0;
+  for (const WeightedRoute& r : entry.routes) {
+    if (r.weight < 0) throw std::invalid_argument("negative route weight");
+    total += r.weight;
+  }
+  if (total <= 0) throw std::invalid_argument("route weights sum to zero");
+  encap_[{egress, static_cast<int>(priority)}] = std::move(entry);
+}
+
+void IngressFib::clear_routes() { encap_.clear(); }
+
+std::optional<topo::NodeId> IngressFib::egress_for(
+    std::uint32_t dst_ip) const {
+  return prefixes_.lookup(dst_ip);
+}
+
+std::optional<LabelStack> IngressFib::lookup(std::uint32_t dst_ip,
+                                             metrics::PriorityClass priority,
+                                             std::uint64_t entropy) const {
+  const auto egress = prefixes_.lookup(dst_ip);
+  if (!egress) return std::nullopt;
+  const auto it = encap_.find({*egress, static_cast<int>(priority)});
+  if (it == encap_.end()) return std::nullopt;
+  const auto& routes = it->second.routes;
+  // Deterministic weighted choice by hashing the entropy field -- the
+  // ASIC's ECMP hash stand-in.
+  double total = 0.0;
+  for (const WeightedRoute& r : routes) total += r.weight;
+  const double point =
+      static_cast<double>(util::splitmix64(entropy) >> 11) /
+      static_cast<double>(1ull << 53) * total;
+  double acc = 0.0;
+  for (const WeightedRoute& r : routes) {
+    acc += r.weight;
+    if (point <= acc) return r.stack;
+  }
+  return routes.back().stack;
+}
+
+void TransitFib::set_entry(Label label, topo::LinkId out_link) {
+  entries_[label] = out_link;
+}
+
+std::optional<topo::LinkId> TransitFib::lookup(Label label) const {
+  const auto it = entries_.find(label);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+TransitFib build_transit_fib(const topo::Topology& topo, topo::NodeId node) {
+  TransitFib fib;
+  for (topo::LinkId lid : topo.node(node).out_links) {
+    fib.set_entry(link_label(lid), lid);
+  }
+  return fib;
+}
+
+void BypassFib::set_bypasses(topo::LinkId link,
+                             std::vector<WeightedRoute> routes) {
+  if (routes.empty()) {
+    bypasses_.erase(link);
+    return;
+  }
+  double total = 0.0;
+  for (const WeightedRoute& r : routes) {
+    if (r.weight < 0) throw std::invalid_argument("negative bypass weight");
+    total += r.weight;
+  }
+  if (total <= 0) throw std::invalid_argument("bypass weights sum to zero");
+  bypasses_[link] = std::move(routes);
+}
+
+void BypassFib::clear() { bypasses_.clear(); }
+
+bool BypassFib::protects(topo::LinkId link) const {
+  return bypasses_.contains(link);
+}
+
+std::optional<LabelStack> BypassFib::select(topo::LinkId link,
+                                            std::uint64_t entropy) const {
+  const auto it = bypasses_.find(link);
+  if (it == bypasses_.end()) return std::nullopt;
+  const auto& routes = it->second;
+  double total = 0.0;
+  for (const WeightedRoute& r : routes) total += r.weight;
+  const double point =
+      static_cast<double>(util::splitmix64(entropy ^ 0xFBFB) >> 11) /
+      static_cast<double>(1ull << 53) * total;
+  double acc = 0.0;
+  for (const WeightedRoute& r : routes) {
+    acc += r.weight;
+    if (point <= acc) return r.stack;
+  }
+  return routes.back().stack;
+}
+
+}  // namespace dsdn::dataplane

@@ -1,0 +1,99 @@
+#pragma once
+
+// Per-router forwarding state: the two-stage ingress lookup plus the
+// static transit label table (§3.2).
+//
+// Stage 1 (prefix -> egress router) is built from prefix originations
+// carried in NSUs. Stage 2 (egress router -> weighted source routes) is
+// programmed by the dSDN Pathing/Programmer from the TE solution; one
+// route is picked per packet by hashing header entropy. Transit packets
+// bypass both stages: the outer label indexes the static transit table,
+// which the controller programs once from its own link IDs.
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "dataplane/label.hpp"
+#include "topo/prefix.hpp"
+
+namespace dsdn::dataplane {
+
+struct WeightedRoute {
+  LabelStack stack;
+  double weight = 1.0;
+};
+
+struct EncapEntry {
+  std::vector<WeightedRoute> routes;
+};
+
+class IngressFib {
+ public:
+  // Stage-1 programming.
+  void set_prefix(const topo::Prefix& p, topo::NodeId egress);
+  void clear_prefixes();
+
+  // Stage-2 programming: replaces the route set for an (egress, class).
+  void set_routes(topo::NodeId egress, metrics::PriorityClass priority,
+                  EncapEntry entry);
+  void clear_routes();
+
+  // Full two-stage lookup. nullopt when the destination is unknown or no
+  // route is programmed. Deterministic in `entropy`.
+  std::optional<LabelStack> lookup(std::uint32_t dst_ip,
+                                   metrics::PriorityClass priority,
+                                   std::uint64_t entropy) const;
+
+  // Stage-1 only (exposed for the forwarder's local-delivery check).
+  std::optional<topo::NodeId> egress_for(std::uint32_t dst_ip) const;
+
+  std::size_t num_prefixes() const { return prefixes_.size(); }
+  std::size_t num_encap_entries() const { return encap_.size(); }
+
+ private:
+  topo::PrefixTable prefixes_;
+  std::map<std::pair<topo::NodeId, int>, EncapEntry> encap_;
+};
+
+class TransitFib {
+ public:
+  // Programs one static entry: packets whose outer label names `link`
+  // leave through it. Installed when the controller comes up.
+  void set_entry(Label label, topo::LinkId out_link);
+
+  std::optional<topo::LinkId> lookup(Label label) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Label, topo::LinkId> entries_;
+};
+
+// Convenience: builds the complete transit table for router `node` --
+// one entry per local outgoing link ID, as advertised in its NSUs.
+TransitFib build_transit_fib(const topo::Topology& topo, topo::NodeId node);
+
+// Pre-installed FRR bypasses for this router's local links (§3.2 fault
+// tolerance, Appendix C): when an outgoing link dies, the invalid label
+// is popped and one of these source routes is prepended, carrying the
+// packet to the link's far end. Programmed by the on-box controller,
+// which can pick them capacity-aware thanks to its NSU-fed global view.
+class BypassFib {
+ public:
+  // Replaces the bypass set protecting `link`.
+  void set_bypasses(topo::LinkId link, std::vector<WeightedRoute> routes);
+  void clear();
+
+  // Weighted pick for one flow; nullopt if the link is unprotected.
+  std::optional<LabelStack> select(topo::LinkId link,
+                                   std::uint64_t entropy) const;
+
+  bool protects(topo::LinkId link) const;
+  std::size_t num_protected_links() const { return bypasses_.size(); }
+
+ private:
+  std::unordered_map<topo::LinkId, std::vector<WeightedRoute>> bypasses_;
+};
+
+}  // namespace dsdn::dataplane

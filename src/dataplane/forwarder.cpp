@@ -1,0 +1,112 @@
+#include "dataplane/forwarder.hpp"
+
+#include <stdexcept>
+
+namespace dsdn::dataplane {
+
+const char* forward_outcome_name(ForwardOutcome o) {
+  switch (o) {
+    case ForwardOutcome::kDelivered: return "delivered";
+    case ForwardOutcome::kDroppedNoIngressRoute: return "no-ingress-route";
+    case ForwardOutcome::kDroppedUnknownLabel: return "unknown-label";
+    case ForwardOutcome::kDroppedLinkDownNoBypass: return "link-down-no-bypass";
+    case ForwardOutcome::kDroppedTtlExpired: return "ttl-expired";
+    case ForwardOutcome::kDroppedNotLocal: return "not-local";
+  }
+  return "?";
+}
+
+Forwarder::Forwarder(const topo::Topology& topo,
+                     const DataplaneProvider* provider,
+                     const BypassPlan* bypasses)
+    : topo_(topo), provider_(provider), bypasses_(bypasses) {
+  if (!provider) throw std::invalid_argument("Forwarder: null provider");
+}
+
+ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
+                                 const std::vector<double>& residual) const {
+  ForwardResult r;
+  topo::NodeId at = ingress_node;
+  r.trace.push_back(at);
+
+  // Headend: two-stage lookup to build the source route.
+  if (packet.stack.empty()) {
+    const RouterDataplane& rd = provider_->at(at);
+    auto stack = rd.ingress.lookup(packet.dst_ip, packet.priority,
+                                   packet.entropy);
+    if (!stack) {
+      // Destination may be attached locally (no WAN hop needed).
+      const auto egress = rd.ingress.egress_for(packet.dst_ip);
+      if (egress && *egress == at) {
+        r.outcome = ForwardOutcome::kDelivered;
+        r.final_node = at;
+        return r;
+      }
+      r.outcome = ForwardOutcome::kDroppedNoIngressRoute;
+      r.final_node = at;
+      return r;
+    }
+    packet.stack = std::move(*stack);
+  }
+
+  while (true) {
+    if (--packet.ttl <= 0) {
+      r.outcome = ForwardOutcome::kDroppedTtlExpired;
+      r.final_node = at;
+      return r;
+    }
+    if (packet.stack.empty()) {
+      // Source route consumed: the packet must be at its egress router.
+      const auto egress = provider_->at(at).ingress.egress_for(packet.dst_ip);
+      r.final_node = at;
+      r.outcome = (egress && *egress == at)
+                      ? ForwardOutcome::kDelivered
+                      : ForwardOutcome::kDroppedNotLocal;
+      return r;
+    }
+
+    const Label outer = packet.stack.top();
+    const auto out_link = provider_->at(at).transit.lookup(outer);
+    if (!out_link) {
+      r.outcome = ForwardOutcome::kDroppedUnknownLabel;
+      r.final_node = at;
+      return r;
+    }
+    const topo::Link& link = topo_.link(*out_link);
+
+    if (!link.up) {
+      // Local repair: pop the invalid label, prepend a bypass route to the
+      // link's far end, continue as the headend intended (§3.2). The
+      // router's own pre-installed BypassFib is consulted first; a
+      // simulation-level BypassPlan (if any) is the fallback.
+      packet.stack.pop();
+      std::optional<LabelStack> bypass_stack =
+          provider_->at(at).bypass.select(*out_link, packet.entropy);
+      if (!bypass_stack && bypasses_) {
+        const auto bypass = bypasses_->select(
+            topo_, *out_link, /*rate_gbps=*/0.0, packet.entropy, residual);
+        if (bypass) {
+          bypass_stack =
+              encode_strict_route(*bypass, /*enforce_depth=*/false);
+        }
+      }
+      if (!bypass_stack) {
+        r.outcome = ForwardOutcome::kDroppedLinkDownNoBypass;
+        r.final_node = at;
+        return r;
+      }
+      packet.stack.push_all_on_top(*bypass_stack);
+      ++r.frr_activations;
+      continue;
+    }
+
+    // Normal transit: pop the outer label and forward.
+    packet.stack.pop();
+    at = link.dst;
+    r.latency_s += link.delay_s;
+    ++r.hops;
+    r.trace.push_back(at);
+  }
+}
+
+}  // namespace dsdn::dataplane

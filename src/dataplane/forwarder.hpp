@@ -1,0 +1,80 @@
+#pragma once
+
+// Packet-level forwarding across the simulated WAN data plane: the life of
+// a packet from Fig 5. The headend performs the two-stage ingress lookup
+// and pushes the label stack; transit routers pop the outer label and
+// forward on the named link; a down link triggers local FRR repair.
+
+#include <optional>
+
+#include "dataplane/fib.hpp"
+#include "dataplane/frr.hpp"
+
+namespace dsdn::dataplane {
+
+struct RouterDataplane {
+  IngressFib ingress;
+  TransitFib transit;
+  BypassFib bypass;
+};
+
+// Where the forwarder reads each router's tables from. Implemented over a
+// plain vector, or over live controllers in the emulation.
+class DataplaneProvider {
+ public:
+  virtual ~DataplaneProvider() = default;
+  virtual const RouterDataplane& at(topo::NodeId node) const = 0;
+};
+
+class VectorDataplanes final : public DataplaneProvider {
+ public:
+  explicit VectorDataplanes(std::size_t n) : routers_(n) {}
+
+  RouterDataplane& mutable_at(topo::NodeId node) { return routers_.at(node); }
+  const RouterDataplane& at(topo::NodeId node) const override {
+    return routers_.at(node);
+  }
+  std::size_t size() const { return routers_.size(); }
+
+ private:
+  std::vector<RouterDataplane> routers_;
+};
+
+enum class ForwardOutcome {
+  kDelivered,
+  kDroppedNoIngressRoute,   // headend has no route to the destination
+  kDroppedUnknownLabel,     // transit FIB miss (malformed/stale route)
+  kDroppedLinkDownNoBypass, // hit a dead link and FRR had no path
+  kDroppedTtlExpired,
+  kDroppedNotLocal,         // stack ran out at a router not owning the dst
+};
+
+const char* forward_outcome_name(ForwardOutcome o);
+
+struct ForwardResult {
+  ForwardOutcome outcome = ForwardOutcome::kDroppedNoIngressRoute;
+  topo::NodeId final_node = topo::kInvalidNode;
+  double latency_s = 0.0;     // accumulated propagation delay
+  std::size_t hops = 0;
+  std::size_t frr_activations = 0;
+  std::vector<topo::NodeId> trace;  // nodes visited, ingress first
+};
+
+class Forwarder {
+ public:
+  // `provider` must outlive the Forwarder.
+  Forwarder(const topo::Topology& topo, const DataplaneProvider* provider,
+            const BypassPlan* bypasses = nullptr);
+
+  // Injects `packet` at `ingress_node` and walks it to completion.
+  // `residual_gbps` feeds capacity-aware bypass selection (may be empty).
+  ForwardResult forward(Packet packet, topo::NodeId ingress_node,
+                        const std::vector<double>& residual_gbps = {}) const;
+
+ private:
+  const topo::Topology& topo_;
+  const DataplaneProvider* provider_;
+  const BypassPlan* bypasses_;
+};
+
+}  // namespace dsdn::dataplane

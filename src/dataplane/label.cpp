@@ -1,0 +1,67 @@
+#include "dataplane/label.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dsdn::dataplane {
+
+Label link_label(topo::LinkId link) {
+  const Label l = link + kReservedLabels;
+  if (l > kMaxLabelValue)
+    throw std::overflow_error("link id exceeds MPLS label space");
+  return l;
+}
+
+topo::LinkId label_link(Label label) {
+  if (label < kReservedLabels)
+    throw std::invalid_argument("reserved MPLS label");
+  return label - kReservedLabels;
+}
+
+Label LabelStack::top() const {
+  if (labels_.empty()) throw std::logic_error("top of empty label stack");
+  return labels_.front();
+}
+
+Label LabelStack::pop() {
+  if (labels_.empty()) throw std::logic_error("pop of empty label stack");
+  const Label l = labels_.front();
+  labels_.erase(labels_.begin());
+  return l;
+}
+
+void LabelStack::push(Label l) { labels_.insert(labels_.begin(), l); }
+
+void LabelStack::push_all_on_top(const LabelStack& other) {
+  labels_.insert(labels_.begin(), other.labels_.begin(), other.labels_.end());
+}
+
+std::string LabelStack::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i) os << ",";
+    os << labels_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+LabelStack encode_strict_route(const te::Path& path, bool enforce_depth) {
+  if (enforce_depth && path.hops() > kMaxLabelDepth)
+    throw std::length_error(
+        "path exceeds MPLS label depth; use sublabel encoding");
+  std::vector<Label> labels;
+  labels.reserve(path.hops());
+  for (topo::LinkId l : path.links) labels.push_back(link_label(l));
+  return LabelStack(std::move(labels));
+}
+
+te::Path decode_strict_route(const LabelStack& stack) {
+  te::Path p;
+  p.links.reserve(stack.depth());
+  for (Label l : stack.labels()) p.links.push_back(label_link(l));
+  return p;
+}
+
+}  // namespace dsdn::dataplane

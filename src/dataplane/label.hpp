@@ -1,0 +1,79 @@
+#pragma once
+
+// MPLS label representation for strict source routing (§3.2).
+//
+// A source route is encoded as a stack of labels enumerating each
+// *directed link* to be traversed, identified by the unique link ID
+// learned from NSUs -- the adjacency-SID style MPLS-SR data plane [3].
+// Values 0..15 are reserved by MPLS, so link k maps to label k + 16.
+//
+// Modern routers can push / read past 12 labels [47]; paths longer than
+// kMaxLabelDepth must use the sublabel encoding (Appendix A, sublabel.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/slo.hpp"
+#include "te/types.hpp"
+#include "topo/topology.hpp"
+
+namespace dsdn::dataplane {
+
+using Label = std::uint32_t;  // 20-bit MPLS label value
+
+inline constexpr Label kReservedLabels = 16;
+inline constexpr Label kMaxLabelValue = (1u << 20) - 1;
+inline constexpr std::size_t kMaxLabelDepth = 12;
+
+Label link_label(topo::LinkId link);
+topo::LinkId label_link(Label label);
+
+class LabelStack {
+ public:
+  LabelStack() = default;
+  explicit LabelStack(std::vector<Label> labels) : labels_(std::move(labels)) {}
+
+  bool empty() const { return labels_.empty(); }
+  std::size_t depth() const { return labels_.size(); }
+
+  // Top of stack = next label to act on.
+  Label top() const;
+  Label pop();
+  void push(Label l);  // becomes the new top
+  // Prepends a whole (bypass) stack on top, preserving its order.
+  void push_all_on_top(const LabelStack& other);
+
+  const std::vector<Label>& labels() const { return labels_; }
+
+  std::string to_string() const;
+
+  bool operator==(const LabelStack&) const = default;
+
+ private:
+  // Stored top-first: labels_[0] is the outermost label.
+  std::vector<Label> labels_;
+};
+
+// Compiles a TE path into a per-link label stack (top = first hop's link).
+// Throws std::length_error when the path exceeds kMaxLabelDepth and
+// enforce_depth is set (FRR splicing may legitimately deepen a stack
+// beyond what a headend would push, so bypass encoding disables it).
+LabelStack encode_strict_route(const te::Path& path,
+                               bool enforce_depth = true);
+
+// Inverse of encode_strict_route (for tests / debugging).
+te::Path decode_strict_route(const LabelStack& stack);
+
+// A packet traversing the simulated data plane.
+struct Packet {
+  std::uint32_t dst_ip = 0;
+  metrics::PriorityClass priority = metrics::PriorityClass::kHigh;
+  std::uint64_t entropy = 0;  // 5-tuple hash stand-in for load balancing
+  LabelStack stack;
+  int ttl = 64;
+  // Trace of visited nodes, appended by the forwarder (diagnostics).
+  std::vector<topo::NodeId> trace;
+};
+
+}  // namespace dsdn::dataplane

@@ -1,0 +1,171 @@
+#include "dataplane/sublabel.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dsdn::dataplane {
+
+std::size_t SublabelAssignment::num_sublabels_used() const {
+  std::set<Sublabel> used(link_sublabel.begin(), link_sublabel.end());
+  used.erase(kNullSublabel);
+  return used.size();
+}
+
+SublabelAssignment assign_sublabels(const topo::Topology& topo) {
+  SublabelAssignment out;
+  out.link_sublabel.assign(topo.num_links(), kNullSublabel);
+
+  // Colors already used by fibers incident to each node.
+  std::vector<std::set<std::size_t>> used(topo.num_nodes());
+
+  std::size_t max_color = 0;
+  for (const topo::Link& l : topo.links()) {
+    // One pass per fiber: the duplex representative is the lower link id;
+    // standalone directed links are their own fiber.
+    const bool representative =
+        l.reverse == topo::kInvalidLink || l.id < l.reverse;
+    if (!representative) continue;
+
+    std::size_t color = 0;
+    while (used[l.src].contains(color) || used[l.dst].contains(color))
+      ++color;
+    used[l.src].insert(color);
+    used[l.dst].insert(color);
+    max_color = std::max(max_color, color);
+
+    // Directed sublabel: 2*color + direction bit, shifted past the null
+    // sequence. The representative direction takes bit 0.
+    const auto base = static_cast<Sublabel>(2 * color + 1);
+    if (base + 1 > kMaxSublabel)
+      throw std::overflow_error("sublabel space exhausted (degree too high)");
+    out.link_sublabel[l.id] = base;
+    if (l.reverse != topo::kInvalidLink)
+      out.link_sublabel[l.reverse] = static_cast<Sublabel>(base + 1);
+  }
+  out.num_colors = max_color + 1;
+  return out;
+}
+
+Label pack_sublabels(Sublabel s1, Sublabel s2) {
+  if (s1 > kMaxSublabel || s2 > kMaxSublabel)
+    throw std::invalid_argument("sublabel exceeds 10 bits");
+  return (static_cast<Label>(s1) << 10) | s2;
+}
+
+std::pair<Sublabel, Sublabel> unpack_sublabels(Label label) {
+  return {static_cast<Sublabel>((label >> 10) & kMaxSublabel),
+          static_cast<Sublabel>(label & kMaxSublabel)};
+}
+
+LabelStack encode_sublabel_route(const te::Path& path,
+                                 const SublabelAssignment& assignment) {
+  std::vector<Label> labels;
+  labels.reserve((path.hops() + 1) / 2);
+  for (std::size_t i = 0; i < path.links.size(); i += 2) {
+    const Sublabel s1 = assignment.link_sublabel[path.links[i]];
+    const Sublabel s2 = i + 1 < path.links.size()
+                            ? assignment.link_sublabel[path.links[i + 1]]
+                            : kNullSublabel;
+    if (s1 == kNullSublabel)
+      throw std::logic_error("link without sublabel on path");
+    labels.push_back(pack_sublabels(s1, s2));
+  }
+  return LabelStack(std::move(labels));
+}
+
+SublabelFib SublabelFib::build(const topo::Topology& topo, topo::NodeId node,
+                               const SublabelAssignment& a) {
+  SublabelFib fib;
+  auto sub = [&](topo::LinkId l) { return a.link_sublabel[l]; };
+  auto insert = [&](Label key, SublabelEntry e) {
+    const auto [it, fresh] = fib.entries_.emplace(key, e);
+    if (!fresh && (it->second.action != e.action ||
+                   it->second.out_link != e.out_link)) {
+      throw std::logic_error("ambiguous sublabel table entry");
+    }
+  };
+
+  const topo::Node& n = topo.node(node);
+  // Row 1: concat(l_in, l_out) -> pop, forward on l_out. Skip immediate
+  // U-turns: they cannot appear on a loop-free strict route.
+  for (topo::LinkId in : n.in_links) {
+    for (topo::LinkId out : n.out_links) {
+      if (topo.link(in).reverse == out) continue;
+      insert(pack_sublabels(sub(in), sub(out)),
+             {SublabelAction::kPopForward, out});
+    }
+  }
+  // Row 2: concat(l_out, l_neighbor_out) -> keep, forward on l_out.
+  for (topo::LinkId out : n.out_links) {
+    const topo::NodeId neighbor = topo.link(out).dst;
+    for (topo::LinkId nout : topo.node(neighbor).out_links) {
+      if (topo.link(out).reverse == nout) continue;
+      insert(pack_sublabels(sub(out), sub(nout)),
+             {SublabelAction::kKeepForward, out});
+    }
+  }
+  // Row 3: concat(l_in, null) -> pop, deliver to the IP destination.
+  for (topo::LinkId in : n.in_links) {
+    insert(pack_sublabels(sub(in), kNullSublabel),
+           {SublabelAction::kPopDeliver, topo::kInvalidLink});
+  }
+  // Row 4: concat(l_out, null) -> keep, forward on l_out.
+  for (topo::LinkId out : n.out_links) {
+    insert(pack_sublabels(sub(out), kNullSublabel),
+           {SublabelAction::kKeepForward, out});
+  }
+  return fib;
+}
+
+std::optional<SublabelEntry> SublabelFib::lookup(Label label) const {
+  const auto it = entries_.find(label);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+SublabelForwardResult forward_sublabel(const topo::Topology& topo,
+                                       const std::vector<SublabelFib>& fibs,
+                                       topo::NodeId start, LabelStack stack) {
+  SublabelForwardResult r;
+  topo::NodeId at = start;
+  r.trace.push_back(at);
+  std::size_t ttl = 4 * topo.num_nodes() + 8;
+
+  while (ttl-- > 0) {
+    if (stack.empty()) {
+      r.delivered = true;
+      r.final_node = at;
+      return r;
+    }
+    const auto entry = fibs[at].lookup(stack.top());
+    if (!entry) {
+      r.final_node = at;
+      return r;  // table miss: drop
+    }
+    switch (entry->action) {
+      case SublabelAction::kPopDeliver:
+        stack.pop();
+        r.delivered = stack.empty();
+        r.final_node = at;
+        return r;
+      case SublabelAction::kPopForward:
+        stack.pop();
+        break;
+      case SublabelAction::kKeepForward:
+        break;
+    }
+    const topo::Link& l = topo.link(entry->out_link);
+    if (!l.up) {
+      r.final_node = at;
+      return r;  // no FRR modeled in the sublabel walk
+    }
+    at = l.dst;
+    ++r.hops;
+    r.trace.push_back(at);
+  }
+  r.final_node = at;
+  return r;
+}
+
+}  // namespace dsdn::dataplane

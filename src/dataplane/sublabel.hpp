@@ -1,0 +1,97 @@
+#pragma once
+
+// MPLS sublabels (Appendix A): strict source routing with two hops per
+// 20-bit MPLS label, for networks whose paths exceed the hardware's
+// 12-label push/read-past limit.
+//
+// Each directed link gets a 10-bit sublabel; an MPLS label carries a pair
+// (sublabel1, sublabel2) of *consecutive* path links, with the 10-bit
+// all-zeros null sequence padding odd-length paths. A router's static
+// table holds the four entry types of Table 1, derivable purely from its
+// own links and its immediate neighbors' advertised link sublabels -- no
+// coordination beyond the standard link-state exchange, preserving the
+// consensus-free property.
+//
+// For large networks (A.2) global sublabel uniqueness is relaxed to
+// *local* uniqueness: at every node the sublabels of its ingress and
+// egress links are mutually unique. We realize that with a greedy edge
+// coloring of the fiber multigraph: each duplex fiber gets a color
+// distinct from all fibers sharing an endpoint, and the directed sublabel
+// is 2*color + direction_bit (+1 to keep 0 as the null sequence). For max
+// degree k this needs at most 2*(2k-1) sublabel values -- within the same
+// small-constant-times-k budget the paper derives, and far inside the
+// 1023 values available (max degree 50 needs ~200).
+
+#include <optional>
+#include <unordered_map>
+
+#include "dataplane/label.hpp"
+
+namespace dsdn::dataplane {
+
+using Sublabel = std::uint16_t;  // 10-bit value; 0 is the null sequence
+
+inline constexpr Sublabel kNullSublabel = 0;
+inline constexpr Sublabel kMaxSublabel = (1u << 10) - 1;
+
+struct SublabelAssignment {
+  // Per directed link id.
+  std::vector<Sublabel> link_sublabel;
+  std::size_t num_colors = 0;
+
+  // Count of distinct sublabel values in use.
+  std::size_t num_sublabels_used() const;
+};
+
+// Greedy fiber edge coloring; throws std::overflow_error if more than
+// kMaxSublabel values would be needed (cannot happen for degree <= ~255).
+SublabelAssignment assign_sublabels(const topo::Topology& topo);
+
+// Packs/unpacks a pair of sublabels into one 20-bit MPLS label
+// (sublabel1 in the high 10 bits -- it is acted on first).
+Label pack_sublabels(Sublabel s1, Sublabel s2);
+std::pair<Sublabel, Sublabel> unpack_sublabels(Label label);
+
+// Compresses a strict route into ceil(hops/2) sublabel-pair labels.
+LabelStack encode_sublabel_route(const te::Path& path,
+                                 const SublabelAssignment& assignment);
+
+enum class SublabelAction {
+  kPopForward,   // concat(l_in, l_out): pop, forward on intf(l_out)
+  kKeepForward,  // concat(l_out, l_next) / concat(l_out, null): keep label
+  kPopDeliver,   // concat(l_in, null): pop, deliver to the IP destination
+};
+
+struct SublabelEntry {
+  SublabelAction action = SublabelAction::kPopForward;
+  topo::LinkId out_link = topo::kInvalidLink;  // invalid for kPopDeliver
+};
+
+// The static per-router MPLS table of Table 1.
+class SublabelFib {
+ public:
+  // Builds router `node`'s table from the assignment (which it learns
+  // from its own config plus neighbors' NSUs).
+  static SublabelFib build(const topo::Topology& topo, topo::NodeId node,
+                           const SublabelAssignment& assignment);
+
+  std::optional<SublabelEntry> lookup(Label label) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Label, SublabelEntry> entries_;
+};
+
+struct SublabelForwardResult {
+  bool delivered = false;
+  topo::NodeId final_node = topo::kInvalidNode;
+  std::size_t hops = 0;
+  std::vector<topo::NodeId> trace;
+};
+
+// Walks a sublabel-encoded packet from `start` until delivery or drop.
+SublabelForwardResult forward_sublabel(const topo::Topology& topo,
+                                       const std::vector<SublabelFib>& fibs,
+                                       topo::NodeId start, LabelStack stack);
+
+}  // namespace dsdn::dataplane

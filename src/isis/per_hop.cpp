@@ -1,0 +1,66 @@
+#include "isis/per_hop.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "te/dijkstra.hpp"
+
+namespace dsdn::isis {
+
+NextHopTable compute_next_hops(const topo::Topology& view,
+                               topo::NodeId self) {
+  NextHopTable table;
+  table.self = self;
+  table.next_hop.assign(view.num_nodes(), topo::kInvalidLink);
+  const auto tree = te::shortest_path_tree(view, self);
+  for (topo::NodeId dst = 0; dst < view.num_nodes(); ++dst) {
+    if (dst == self || tree[dst].empty()) continue;
+    table.next_hop[dst] = tree[dst].links.front();
+  }
+  return table;
+}
+
+const char* per_hop_outcome_name(PerHopOutcome o) {
+  switch (o) {
+    case PerHopOutcome::kDelivered: return "delivered";
+    case PerHopOutcome::kLoop: return "loop";
+    case PerHopOutcome::kDeadEnd: return "dead-end";
+    case PerHopOutcome::kLinkDown: return "link-down";
+  }
+  return "?";
+}
+
+PerHopResult forward_per_hop(const topo::Topology& ground_truth,
+                             const std::vector<NextHopTable>& tables,
+                             topo::NodeId src, topo::NodeId dst) {
+  if (tables.size() != ground_truth.num_nodes())
+    throw std::invalid_argument("forward_per_hop: table count mismatch");
+  PerHopResult r;
+  std::unordered_set<topo::NodeId> visited;
+  topo::NodeId at = src;
+  r.trace.push_back(at);
+  visited.insert(at);
+  while (at != dst) {
+    const topo::LinkId next = tables[at].next_hop[dst];
+    if (next == topo::kInvalidLink) {
+      r.outcome = PerHopOutcome::kDeadEnd;
+      return r;
+    }
+    const topo::Link& link = ground_truth.link(next);
+    if (!link.up) {
+      r.outcome = PerHopOutcome::kLinkDown;
+      return r;
+    }
+    at = link.dst;
+    ++r.hops;
+    r.trace.push_back(at);
+    if (!visited.insert(at).second) {
+      r.outcome = PerHopOutcome::kLoop;
+      return r;
+    }
+  }
+  r.outcome = PerHopOutcome::kDelivered;
+  return r;
+}
+
+}  // namespace dsdn::isis

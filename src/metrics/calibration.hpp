@@ -1,0 +1,142 @@
+#pragma once
+
+// Calibrated latency models substituting for production measurements.
+//
+// The paper derives cSDN's Tprop / Tcomp / Tprog and per-router
+// programming times from Google's B4 telemetry (Figs 8 and 19). We have no
+// access to that telemetry, so this module encodes samplers whose medians
+// and spreads match the values the paper reports:
+//
+//   - cSDN Tprop: hierarchy of collection services, median ~2 s, spread
+//     covering 10^2..10^4 ms (Fig 8a, log axis). dSDN's Tprop is *not*
+//     calibrated; it is produced by the hop-by-hop flooding simulation.
+//   - Tcomp: ~190 ms mean on the 40x2.8 GHz server; dSDN runs the same
+//     algorithm on 3x1.9 GHz router cores, ~35% slower (Fig 8b). For the
+//     scalability figures we instead *measure* our real solver and apply
+//     the CPU-speed ratio.
+//   - cSDN Tprog: two-phase network-wide programming; per-path time gated
+//     by the slowest transit router; median >50 s with 10^2..10^5 ms
+//     spread (Fig 8c), reconstructed from the per-router transit/encap
+//     model of Appendix B (Fig 19). dSDN Tprog is local FIB programming,
+//     ~1000x lower (tens of ms).
+//   - RSVP-TE signaling: per-hop setup latency and crankback backoff
+//     calibrated so a large B2-scale failure reconverges with median
+//     ~45 s and a multi-minute tail (§5.1.2).
+//
+// All samplers take an explicit Rng: deterministic under a fixed seed.
+
+#include <cstddef>
+
+#include "metrics/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace dsdn::metrics {
+
+// Ratio of router control-CPU speed to datacenter server core speed
+// (1.9 GHz / 2.8 GHz, §5.1.1). Multiply server-measured compute times by
+// 1/kRouterCpuSpeedRatio to model the router.
+inline constexpr double kRouterCpuSpeedRatio = 1.9 / 2.8;
+
+struct CsdnCalibration {
+  // Event propagation through CPN + collection hierarchy to the central
+  // controller, seconds. Lognormal(median, sigma).
+  double tprop_median_s = 2.0;
+  double tprop_sigma = 0.7;
+
+  // Central TE computation on the datacenter server, seconds.
+  double tcomp_median_s = 0.19;
+  double tcomp_sigma = 0.12;
+
+  // Per-router *transit entry* programming (phase one of make-before-break).
+  // Routers are heterogeneous: each router r has a base latency drawn once
+  // from Lognormal(transit_router_median_s, transit_router_sigma) -- this
+  // produces the ~10x spread across routers Fig 19 reports -- and each
+  // event multiplies the base by a Pareto tail (4x-11x median-to-p99:
+  // alpha = 2.2 gives p99/p50 = 100^(1/2.2) ~= 8x).
+  double transit_router_median_s = 1.0;
+  double transit_router_sigma = 0.9;
+  double transit_tail_alpha = 2.2;
+
+  // Headend *encap entry* programming (phase two), same structure, faster.
+  double encap_router_median_s = 0.12;
+  double encap_router_sigma = 0.8;
+  double encap_tail_alpha = 2.0;
+};
+
+struct DsdnCalibration {
+  // Per-hop NSU processing + transmission delay used when flooding is
+  // simulated hop-by-hop (§5.2 footnote: consistent with measured IS-IS
+  // propagation -- IS-IS implementations pace LSP processing/flooding at
+  // tens of ms per hop). Seconds per hop, plus per-link propagation delay
+  // taken from the topology. Calibrated so B4-scale dSDN Tprop lands near
+  // the paper's ~100 ms median (Fig 8a).
+  double nsu_hop_process_median_s = 0.020;
+  double nsu_hop_process_sigma = 0.45;
+
+  // Local FIB programming of all headend paths at one router (gRIBI batch).
+  double tprog_median_s = 0.045;
+  double tprog_sigma = 0.5;
+
+  // Router-local TE compute for B4-scale inputs (used when not measuring
+  // the real solver): 35% above the cSDN server's Tcomp.
+  double tcomp_median_s = 0.19 * 1.35;
+  double tcomp_sigma = 0.12;
+};
+
+struct RsvpCalibration {
+  // One hop of RSVP PATH/RESV processing, seconds.
+  double hop_setup_median_s = 0.035;
+  double hop_setup_sigma = 0.6;
+  // Per-router signaling-message service time: each router processes
+  // RSVP messages serially, so simultaneous restoration of hundreds of
+  // LSPs queues up at shared routers -- the "signaling stampede" that
+  // drives B2's 45.5 s median / multi-minute tail (§5.1.2).
+  double signal_service_median_s = 0.025;
+  double signal_service_sigma = 0.35;
+  // Headend CSPF recomputation before (re)signaling.
+  double cspf_median_s = 0.35;
+  double cspf_sigma = 0.4;
+  // Exponential backoff base after a crankback (reservation failure).
+  double backoff_base_s = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 60.0;
+};
+
+// Per-router programming latency model (Appendix B). A PerRouterLatency is
+// drawn once per router; sample_* then draw per-event latencies.
+class ProgrammingLatencyModel {
+ public:
+  ProgrammingLatencyModel(const CsdnCalibration& calib, std::size_t n_routers,
+                          util::Rng& rng);
+
+  // Per-event transit-entry programming time at router r, seconds.
+  double sample_transit(std::size_t router, util::Rng& rng) const;
+  // Per-event encap-entry programming time at router r, seconds.
+  double sample_encap(std::size_t router, util::Rng& rng) const;
+
+  std::size_t n_routers() const { return transit_base_.size(); }
+  // Router with the largest transit base latency ("most loaded", Fig 19).
+  std::size_t slowest_router() const;
+
+ private:
+  CsdnCalibration calib_;
+  std::vector<double> transit_base_;
+  std::vector<double> encap_base_;
+};
+
+// Convenience samplers for whole-component times.
+double sample_csdn_tprop(const CsdnCalibration& c, util::Rng& rng);
+double sample_csdn_tcomp(const CsdnCalibration& c, util::Rng& rng);
+double sample_dsdn_hop_process(const DsdnCalibration& c, util::Rng& rng);
+double sample_dsdn_tprog(const DsdnCalibration& c, util::Rng& rng);
+double sample_dsdn_tcomp(const DsdnCalibration& c, util::Rng& rng);
+
+// Builds an empirical distribution by drawing n samples from a sampler.
+template <typename Sampler>
+EmpiricalDistribution materialize(Sampler&& s, std::size_t n, util::Rng& rng) {
+  EmpiricalDistribution d;
+  for (std::size_t i = 0; i < n; ++i) d.add(s(rng));
+  return d;
+}
+
+}  // namespace dsdn::metrics

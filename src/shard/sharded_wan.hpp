@@ -1,0 +1,79 @@
+#pragma once
+
+// Sharded dSDN (§6, future work): the paper observes that EBB's and
+// BlastShield's sharding principle is orthogonal to dSDN and could be
+// combined with it -- "dSDN could run on a horizontally sharded network
+// (akin to EBB), thus containing data plane failures to a single shard."
+//
+// This module realizes that combination. The WAN is built as K parallel
+// *planes*: every router participates in every plane, but each plane has
+// its own fibers (EBB builds parallel global networks the same way). Each
+// plane runs a fully independent dSDN instance -- its own NSU flooding,
+// StateDbs, TE, and FIBs -- so both control- and data-plane faults are
+// contained: a fiber cut or a controller bug in plane k is invisible to
+// the other K-1 planes. Flows are pinned to planes by entropy hash.
+
+#include <memory>
+
+#include "sim/emulation.hpp"
+
+namespace dsdn::shard {
+
+// Splits a base topology into `k` parallel planes: the node set is
+// shared; every base duplex fiber appears once per plane with 1/k of the
+// base capacity (EBB-style striping). Returns one topology per plane;
+// link ids are plane-local.
+std::vector<topo::Topology> make_planes(const topo::Topology& base,
+                                        std::size_t k);
+
+// Stable plane assignment for a flow key; demands and their packets must
+// agree, so both sides hash (src, dst, class).
+std::size_t plane_of_flow(topo::NodeId src, topo::NodeId dst,
+                          metrics::PriorityClass priority, std::size_t k);
+
+// Splits a traffic matrix across planes by flow-key hash.
+std::vector<traffic::TrafficMatrix> split_demands(
+    const traffic::TrafficMatrix& tm, std::size_t k);
+
+class ShardedWan {
+ public:
+  // Builds k independent dSDN planes from the base network and demands.
+  ShardedWan(const topo::Topology& base, const traffic::TrafficMatrix& tm,
+             std::size_t k, sim::EmulationConfig config = {});
+
+  std::size_t num_planes() const { return planes_.size(); }
+  sim::DsdnEmulation& plane(std::size_t k) { return *planes_.at(k); }
+  const sim::DsdnEmulation& plane(std::size_t k) const {
+    return *planes_.at(k);
+  }
+
+  // Boots every plane's controllers.
+  void bootstrap();
+
+  // Fails the plane-local fiber in plane `k` only (the other planes'
+  // parallel fibers stay up).
+  void fail_fiber_in_plane(std::size_t k, topo::LinkId fiber);
+  void repair_fiber_in_plane(std::size_t k, topo::LinkId fiber);
+
+  // Sends a packet toward router `dst` on the plane its flow key hashes
+  // to -- the same plane that carries the flow's demand.
+  dataplane::ForwardResult send_packet(
+      topo::NodeId ingress, topo::NodeId dst,
+      metrics::PriorityClass priority = metrics::PriorityClass::kHigh,
+      std::uint64_t entropy = 1) const;
+
+  // True iff every plane's views are internally converged. Planes never
+  // exchange state with each other.
+  bool all_planes_converged() const;
+
+  // Demands assigned to plane k.
+  const traffic::TrafficMatrix& plane_demands(std::size_t k) const {
+    return demands_.at(k);
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::DsdnEmulation>> planes_;
+  std::vector<traffic::TrafficMatrix> demands_;
+};
+
+}  // namespace dsdn::shard

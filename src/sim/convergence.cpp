@@ -1,0 +1,141 @@
+#include "sim/convergence.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "topo/builder.hpp"
+
+namespace dsdn::sim {
+
+std::vector<double> nsu_arrival_times(const topo::Topology& topo,
+                                      topo::NodeId origin,
+                                      const metrics::DsdnCalibration& calib,
+                                      util::Rng& rng) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Sample one processing delay per link for this event, then run
+  // earliest-arrival Dijkstra over delay + processing.
+  std::vector<double> hop_cost(topo.num_links(), kInf);
+  for (const topo::Link& l : topo.links()) {
+    if (!l.up) continue;
+    hop_cost[l.id] = l.delay_s + metrics::sample_dsdn_hop_process(calib, rng);
+  }
+  std::vector<double> arrival(topo.num_nodes(), kInf);
+  using Entry = std::pair<double, topo::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  arrival[origin] = 0.0;
+  pq.emplace(0.0, origin);
+  while (!pq.empty()) {
+    const auto [t, u] = pq.top();
+    pq.pop();
+    if (t > arrival[u]) continue;
+    for (topo::LinkId lid : topo.node(u).out_links) {
+      const topo::Link& l = topo.link(lid);
+      if (!l.up) continue;
+      const double nt = t + hop_cost[lid];
+      if (nt < arrival[l.dst]) {
+        arrival[l.dst] = nt;
+        pq.emplace(nt, l.dst);
+      }
+    }
+  }
+  return arrival;
+}
+
+std::vector<topo::LinkId> pick_failure_fibers(const topo::Topology& topo,
+                                              std::size_t count,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<topo::LinkId> fibers;
+  for (const topo::Link& l : topo.links()) {
+    if (l.reverse != topo::kInvalidLink && l.id < l.reverse)
+      fibers.push_back(l.id);
+  }
+  rng.shuffle(fibers);
+
+  // Keep only fibers whose loss preserves connectivity.
+  topo::Topology scratch = topo;
+  std::vector<topo::LinkId> out;
+  for (topo::LinkId f : fibers) {
+    if (out.size() >= count) break;
+    scratch.set_duplex_up(f, false);
+    if (topo::is_strongly_connected(scratch)) out.push_back(f);
+    scratch.set_duplex_up(f, true);
+  }
+  // Cycle if the caller wants more events than distinct safe fibers.
+  const std::size_t distinct = out.size();
+  while (distinct > 0 && out.size() < count)
+    out.push_back(out[out.size() % distinct]);
+  return out;
+}
+
+ComponentDistributions measure_dsdn_convergence(
+    const topo::Topology& topo, const DsdnConvergenceConfig& config) {
+  util::Rng rng(config.seed);
+  ComponentDistributions out;
+  const auto fibers = pick_failure_fibers(topo, config.n_events,
+                                          util::splitmix64(config.seed));
+  topo::Topology scratch = topo;
+  for (topo::LinkId fiber : fibers) {
+    scratch.set_duplex_up(fiber, false);
+    // Both fiber endpoints originate NSUs; each router converges at its
+    // earliest arrival from either.
+    const topo::NodeId a = scratch.link(fiber).src;
+    const topo::NodeId b = scratch.link(fiber).dst;
+    const auto from_a = nsu_arrival_times(scratch, a, config.calib, rng);
+    const auto from_b = nsu_arrival_times(scratch, b, config.calib, rng);
+
+    double event_total = 0.0;
+    for (topo::NodeId i = 0; i < scratch.num_nodes(); ++i) {
+      const double tprop = std::min(from_a[i], from_b[i]);
+      if (!std::isfinite(tprop)) continue;  // disconnected (shouldn't happen)
+      const double tcomp =
+          config.measured_tcomp.empty()
+              ? metrics::sample_dsdn_tcomp(config.calib, rng)
+              : config.measured_tcomp.sample(rng);
+      const double tprog = metrics::sample_dsdn_tprog(config.calib, rng);
+      out.tprop.add(tprop);
+      out.tcomp.add(tcomp);
+      out.tprog.add(tprog);
+      event_total = std::max(event_total, tprop + tcomp + tprog);
+    }
+    out.total.add(event_total);
+    scratch.set_duplex_up(fiber, true);
+  }
+  return out;
+}
+
+ComponentDistributions measure_csdn_convergence(
+    const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+    const CsdnConvergenceConfig& config) {
+  ComponentDistributions out;
+  topo::Topology scratch = topo;
+  csdn::CsdnController controller(&scratch, config.calib,
+                                  config.solver_options, config.seed);
+  if (!config.measured_tcomp.empty()) {
+    controller.set_measured_tcomp(config.measured_tcomp);
+  }
+  const auto fibers = pick_failure_fibers(topo, config.n_events,
+                                          util::splitmix64(config.seed ^ 1));
+  const te::Solution baseline = controller.solve(tm);
+
+  for (topo::LinkId fiber : fibers) {
+    scratch.set_duplex_up(fiber, false);
+    const te::Solution after = controller.solve(tm);
+    const auto changed = csdn::changed_demands(baseline, after);
+    const auto timing = controller.time_reconvergence(0.0, after, changed);
+
+    out.tprop.add(timing.t_learned);
+    out.tcomp.add(timing.t_computed - timing.t_learned);
+    // Tprog per §4: the time to install computed paths at *all* routers
+    // -- gated by the slowest path's two-phase programming.
+    if (!timing.demand_switch.empty()) {
+      out.tprog.add(timing.t_converged - timing.t_computed);
+    }
+    out.total.add(timing.t_converged);
+    scratch.set_duplex_up(fiber, true);
+  }
+  return out;
+}
+
+}  // namespace dsdn::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+// Convergence-time measurement (§4, §5.1): decomposes Tconv into Tprop,
+// Tcomp, Tprog for dSDN and cSDN after link-failure events.
+//
+// dSDN: NSUs propagate hop-by-hop through the data plane (flooding);
+// Tprop(i) is router i's earliest arrival time. Every router then runs TE
+// (Tcomp(i)) and programs only its own paths locally (Tprog(i)).
+// Network-wide Tconv = max_i (Tprop(i) + Tcomp(i) + Tprog(i)).
+//
+// cSDN: one Tprop through the CPN + collection hierarchy, one central
+// Tcomp, then two-phase programming of every changed path; Tconv is gated
+// by the slowest path (Appendix B).
+
+#include "csdn/controller.hpp"
+#include "metrics/calibration.hpp"
+#include "metrics/distribution.hpp"
+#include "te/solver.hpp"
+
+namespace dsdn::sim {
+
+// Earliest NSU arrival time at every router when `origin` floods after
+// the (already applied) failure. Per-hop cost = link propagation delay +
+// a sampled per-hop processing time. Unreachable routers get +inf.
+std::vector<double> nsu_arrival_times(const topo::Topology& topo,
+                                      topo::NodeId origin,
+                                      const metrics::DsdnCalibration& calib,
+                                      util::Rng& rng);
+
+struct ComponentDistributions {
+  metrics::EmpiricalDistribution tprop;
+  metrics::EmpiricalDistribution tcomp;
+  metrics::EmpiricalDistribution tprog;
+  metrics::EmpiricalDistribution total;  // per-event network convergence
+};
+
+struct DsdnConvergenceConfig {
+  metrics::DsdnCalibration calib;
+  // When non-empty, Tcomp is sampled from this measured distribution
+  // (e.g. real solver runs scaled by the router CPU ratio) instead of the
+  // calibrated lognormal.
+  metrics::EmpiricalDistribution measured_tcomp;
+  std::size_t n_events = 200;
+  std::uint64_t seed = 21;
+};
+
+// Measures dSDN's convergence components over random fiber failures.
+ComponentDistributions measure_dsdn_convergence(
+    const topo::Topology& topo, const DsdnConvergenceConfig& config);
+
+struct CsdnConvergenceConfig {
+  metrics::CsdnCalibration calib;
+  te::SolverOptions solver_options;
+  // When non-empty, Tcomp is sampled from this measured distribution
+  // (real solver runs at server speed) instead of the calibrated value,
+  // keeping the cSDN-vs-dSDN Tcomp comparison apples-to-apples.
+  metrics::EmpiricalDistribution measured_tcomp;
+  std::size_t n_events = 200;
+  std::uint64_t seed = 22;
+};
+
+// Measures cSDN's convergence components over random fiber failures.
+// Runs the real TE solver per event to obtain the changed path set whose
+// two-phase programming is timed.
+ComponentDistributions measure_csdn_convergence(
+    const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+    const CsdnConvergenceConfig& config);
+
+// Random duplex fiber ids (representatives) usable as failure targets:
+// only fibers whose removal keeps the graph connected are returned, so
+// convergence is always achievable.
+std::vector<topo::LinkId> pick_failure_fibers(const topo::Topology& topo,
+                                              std::size_t count,
+                                              std::uint64_t seed);
+
+}  // namespace dsdn::sim

@@ -1,0 +1,241 @@
+#include "sim/emulation.hpp"
+
+#include <stdexcept>
+
+#include "core/wire.hpp"
+
+namespace dsdn::sim {
+
+DsdnEmulation::DsdnEmulation(topo::Topology topo, traffic::TrafficMatrix tm,
+                             EmulationConfig config)
+    : topo_(std::move(topo)), tm_(std::move(tm)), config_(config) {
+  prefixes_ = topo::assign_router_prefixes(topo_);
+  telemetry_ = std::make_unique<core::SimTelemetry>(&topo_, &tm_, prefixes_);
+  controllers_.reserve(topo_.num_nodes());
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    core::ControllerConfig cc;
+    cc.self = n;
+    cc.solver_options = config_.solver_options;
+    cc.program_bypasses = config_.use_bypasses;
+    cc.bypass_strategy = config_.bypass_strategy;
+    controllers_.push_back(std::make_unique<core::Controller>(cc, topo_));
+  }
+  dirty_.assign(topo_.num_nodes(), 0);
+}
+
+const core::Controller& DsdnEmulation::controller(topo::NodeId n) const {
+  return *controllers_.at(n);
+}
+
+core::Controller& DsdnEmulation::mutable_controller(topo::NodeId n) {
+  return *controllers_.at(n);
+}
+
+const dataplane::RouterDataplane& DsdnEmulation::at(topo::NodeId node) const {
+  return controllers_.at(node)->dataplane();
+}
+
+std::uint32_t DsdnEmulation::address_of(topo::NodeId dst) const {
+  return topo::host_in(prefixes_.at(dst));
+}
+
+void DsdnEmulation::flood(const core::FloodDirective& directive,
+                          topo::NodeId from) {
+  (void)from;
+  // NSUs cross the wire as bytes: every delivery round-trips through the
+  // real serialization so the emulation exercises the gRPC payload path.
+  const auto bytes =
+      std::make_shared<const std::vector<std::uint8_t>>(
+          core::serialize_nsu(directive.nsu));
+  for (topo::LinkId lid : directive.out_links) {
+    const topo::Link& l = topo_.link(lid);
+    const double delay = l.delay_s + config_.nsu_process_s;
+    queue_.schedule_in(delay, [this, bytes, lid] {
+      const auto nsu = core::parse_nsu(*bytes);
+      if (nsu) deliver(*nsu, lid);
+    });
+  }
+}
+
+void DsdnEmulation::deliver(const core::NodeStateUpdate& nsu,
+                            topo::LinkId via) {
+  const topo::Link& l = topo_.link(via);
+  if (!l.up) return;  // lost with the link (sender retries via next NSU)
+  ++messages_;
+  core::Controller& receiver = *controllers_[l.dst];
+  const core::FloodDirective onward = receiver.handle_nsu(nsu, via);
+  if (!onward.empty() || receiver.state().seq_of(nsu.origin) == nsu.seq) {
+    dirty_[l.dst] = 1;
+  }
+  if (!onward.empty()) flood(onward, l.dst);
+}
+
+void DsdnEmulation::run_to_quiescence() {
+  // 16M message budget: loop-free flooding over a connected graph always
+  // terminates far below this; the cap turns a logic bug into an error.
+  const std::size_t executed = queue_.run(16'000'000);
+  if (executed >= 16'000'000)
+    throw std::runtime_error("emulation: flooding did not quiesce");
+}
+
+void DsdnEmulation::recompute_dirty() {
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (!dirty_[n]) continue;
+    controllers_[n]->recompute();
+    dirty_[n] = 0;
+  }
+}
+
+void DsdnEmulation::bootstrap() {
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const auto directive = controllers_[n]->originate(telemetry_for(n));
+    dirty_[n] = 1;
+    flood(directive, n);
+  }
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::fail_fiber(topo::LinkId fiber) {
+  const topo::NodeId a = topo_.link(fiber).src;
+  const topo::NodeId b = topo_.link(fiber).dst;
+  topo_.set_duplex_up(fiber, false);
+  for (topo::NodeId origin : {a, b}) {
+    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
+    dirty_[origin] = 1;
+    flood(directive, origin);
+  }
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::repair_fiber(topo::LinkId fiber) {
+  const topo::NodeId a = topo_.link(fiber).src;
+  const topo::NodeId b = topo_.link(fiber).dst;
+  topo_.set_duplex_up(fiber, true);
+  // Adjacency-up database resync (IS-IS CSNP-style): the endpoints merge
+  // databases and reflood, so updates that happened across a partition
+  // reach both sides. Receivers' sequence checks stop the reflood where
+  // nothing is new.
+  for (const auto& directive : controllers_[a]->resync_with(*controllers_[b])) {
+    flood(directive, a);
+  }
+  for (const auto& directive : controllers_[b]->resync_with(*controllers_[a])) {
+    flood(directive, b);
+  }
+  for (topo::NodeId origin : {a, b}) {
+    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
+    dirty_[origin] = 1;
+    flood(directive, origin);
+  }
+  dirty_[a] = 1;
+  dirty_[b] = 1;
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::degrade_fiber(topo::LinkId fiber, double capacity_gbps) {
+  const topo::NodeId a = topo_.link(fiber).src;
+  const topo::NodeId b = topo_.link(fiber).dst;
+  topo_.set_duplex_capacity(fiber, capacity_gbps);
+  for (topo::NodeId origin : {a, b}) {
+    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
+    dirty_[origin] = 1;
+    flood(directive, origin);
+  }
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::crash_and_recover(topo::NodeId node) {
+  // Fresh controller instance: empty StateDb, seq counter reset.
+  core::ControllerConfig cc;
+  cc.self = node;
+  cc.solver_options = config_.solver_options;
+  cc.program_bypasses = config_.use_bypasses;
+  cc.bypass_strategy = config_.bypass_strategy;
+  controllers_[node] = std::make_unique<core::Controller>(cc, topo_);
+
+  // Recover state from any live neighbor, then re-originate (with a
+  // sequence number above anything the network has seen from us).
+  const auto neighbors = topo_.up_neighbors(node);
+  if (neighbors.empty())
+    throw std::runtime_error("crash_and_recover: isolated node");
+  controllers_[node]->recover_from(*controllers_[neighbors.front()]);
+  const auto directive = controllers_[node]->originate(telemetry_for(node));
+  dirty_[node] = 1;
+  flood(directive, node);
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+const core::TelemetrySource& DsdnEmulation::telemetry_for(
+    topo::NodeId node) const {
+  if (!estimating_telemetry_.empty()) return *estimating_telemetry_[node];
+  return *telemetry_;
+}
+
+void DsdnEmulation::enable_in_band_measurement(
+    traffic::DemandEstimator::Options options) {
+  estimators_.clear();
+  estimating_telemetry_.clear();
+  estimators_.reserve(topo_.num_nodes());
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    estimators_.emplace_back(n, options);
+  }
+  // Estimators must not reallocate once telemetry holds pointers.
+  estimating_telemetry_.reserve(topo_.num_nodes());
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    estimating_telemetry_.push_back(
+        std::make_unique<traffic::EstimatingTelemetry>(&topo_, prefixes_,
+                                                       &estimators_[n]));
+  }
+}
+
+void DsdnEmulation::observe_traffic(const traffic::TrafficMatrix& offered) {
+  if (estimators_.empty())
+    throw std::logic_error("observe_traffic: measurement not enabled");
+  // Each ingress router measures what it forwards this epoch.
+  for (const traffic::Demand& d : offered.demands()) {
+    estimators_[d.src].observe(d.dst, d.priority, d.rate_gbps);
+  }
+}
+
+void DsdnEmulation::measurement_epoch() {
+  if (estimators_.empty())
+    throw std::logic_error("measurement_epoch: measurement not enabled");
+  for (auto& est : estimators_) est.roll_epoch();
+  // Every router advertises its fresh estimates and the network
+  // reconverges on the new demand picture.
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const auto directive = controllers_[n]->originate(telemetry_for(n));
+    dirty_[n] = 1;
+    flood(directive, n);
+  }
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+bool DsdnEmulation::views_converged() const {
+  if (controllers_.empty()) return true;
+  const std::uint64_t digest = controllers_.front()->state().digest();
+  for (const auto& c : controllers_) {
+    if (c->state().digest() != digest) return false;
+  }
+  return true;
+}
+
+dataplane::ForwardResult DsdnEmulation::send_packet(
+    topo::NodeId ingress, std::uint32_t dst_ip,
+    metrics::PriorityClass priority, std::uint64_t entropy) const {
+  dataplane::Packet pkt;
+  pkt.dst_ip = dst_ip;
+  pkt.priority = priority;
+  pkt.entropy = entropy;
+  pkt.ttl = static_cast<int>(4 * topo_.num_nodes() + 16);
+  // Bypasses come from each router's controller-programmed BypassFib.
+  const dataplane::Forwarder forwarder(topo_, this);
+  return forwarder.forward(std::move(pkt), ingress);
+}
+
+}  // namespace dsdn::sim

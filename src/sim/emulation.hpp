@@ -1,0 +1,114 @@
+#pragma once
+
+// Functional WAN emulation: *real* dSDN controllers -- real NSU flooding,
+// real StateDBs, the real TE solver, real FIB programming -- running on
+// the discrete-event queue with per-link message delays. This is the
+// closest thing to the paper's lab deployment: after quiescence, packets
+// are forwarded hop-by-hop through the programmed tables and checked for
+// delivery.
+//
+// Used by the integration tests, the quickstart, and the examples; the
+// statistical simulators (convergence.hpp / transient.hpp) are used where
+// 1,000-day workloads make functional emulation impractical.
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "dataplane/forwarder.hpp"
+#include "sim/event_queue.hpp"
+#include "traffic/estimator.hpp"
+#include "traffic/matrix.hpp"
+
+namespace dsdn::sim {
+
+struct EmulationConfig {
+  te::SolverOptions solver_options;
+  // Fixed per-hop NSU processing delay added to link propagation.
+  double nsu_process_s = 0.002;
+  // Controllers pre-install per-router FRR bypasses on every recompute
+  // (the on-box Smart-FRR capability of Appendix C).
+  bool use_bypasses = true;
+  dataplane::BypassStrategy bypass_strategy =
+      dataplane::BypassStrategy::kCapacityAware;
+};
+
+class DsdnEmulation final : public dataplane::DataplaneProvider {
+ public:
+  DsdnEmulation(topo::Topology topo, traffic::TrafficMatrix tm,
+                EmulationConfig config = {});
+
+  // Boots every controller: originates initial NSUs, floods to
+  // quiescence, recomputes and programs all routers.
+  void bootstrap();
+
+  // Injects a fiber cut / repair: updates ground truth, has the incident
+  // routers originate fresh NSUs, floods to quiescence, then recomputes
+  // every controller whose view changed.
+  void fail_fiber(topo::LinkId fiber);
+  void repair_fiber(topo::LinkId fiber);
+
+  // Partial capacity loss (Appendix C): scales the fiber's capacity in
+  // both directions; incident routers advertise the change and every
+  // headend re-solves against the reduced capacity.
+  void degrade_fiber(topo::LinkId fiber, double capacity_gbps);
+
+  // Crashes a controller and recovers it from a live neighbor (§3.2).
+  void crash_and_recover(topo::NodeId node);
+
+  // --- In-band demand measurement (§3.2) ---
+  // When enabled, controllers advertise EWMA-estimated demand from
+  // traffic observed at their ingress instead of the oracle matrix.
+  // Call observe_traffic() to feed an epoch of offered load (e.g. the
+  // current matrix, or any drifted variant), then measurement_epoch() to
+  // roll estimators, re-originate NSUs, and reconverge.
+  void enable_in_band_measurement(traffic::DemandEstimator::Options options
+                                  = {});
+  void observe_traffic(const traffic::TrafficMatrix& offered);
+  void measurement_epoch();
+  bool in_band_measurement() const { return !estimators_.empty(); }
+
+  // True iff all controllers' StateDb digests are identical.
+  bool views_converged() const;
+
+  // Sends one packet from `ingress` toward `dst_ip`.
+  dataplane::ForwardResult send_packet(
+      topo::NodeId ingress, std::uint32_t dst_ip,
+      metrics::PriorityClass priority = metrics::PriorityClass::kHigh,
+      std::uint64_t entropy = 1) const;
+
+  // Convenience: a host address attached to router `dst`.
+  std::uint32_t address_of(topo::NodeId dst) const;
+
+  const topo::Topology& network() const { return topo_; }
+  const traffic::TrafficMatrix& demands() const { return tm_; }
+  const core::Controller& controller(topo::NodeId n) const;
+  core::Controller& mutable_controller(topo::NodeId n);
+  double sim_time() const { return queue_.now(); }
+  std::size_t messages_delivered() const { return messages_; }
+
+  // DataplaneProvider: the forwarder reads live controller FIBs.
+  const dataplane::RouterDataplane& at(topo::NodeId node) const override;
+
+ private:
+  void flood(const core::FloodDirective& directive, topo::NodeId from);
+  void deliver(const core::NodeStateUpdate& nsu, topo::LinkId via);
+  void run_to_quiescence();
+  void recompute_dirty();
+  const core::TelemetrySource& telemetry_for(topo::NodeId node) const;
+
+  topo::Topology topo_;  // ground truth
+  traffic::TrafficMatrix tm_;
+  EmulationConfig config_;
+  std::vector<topo::Prefix> prefixes_;
+  std::unique_ptr<core::SimTelemetry> telemetry_;
+  // In-band measurement state (empty unless enabled).
+  std::vector<traffic::DemandEstimator> estimators_;
+  std::vector<std::unique_ptr<traffic::EstimatingTelemetry>>
+      estimating_telemetry_;
+  std::vector<std::unique_ptr<core::Controller>> controllers_;
+  std::vector<char> dirty_;
+  sim::EventQueue queue_;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace dsdn::sim

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace dsdn::sim {
+
+void EventQueue::schedule(double when, Callback cb) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  queue_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double delay, Callback cb) {
+  schedule(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the callback may schedule more events.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.when;
+  e.cb();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    step();
+    ++n;
+  }
+  now_ = std::max(now_, horizon);
+  return n;
+}
+
+}  // namespace dsdn::sim

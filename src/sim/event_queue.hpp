@@ -1,0 +1,54 @@
+#pragma once
+
+// Discrete-event engine. Deterministic: events at equal timestamps run in
+// scheduling order (stable FIFO), so a fixed seed reproduces a run
+// exactly.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+namespace dsdn::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute time `when` (must be >= now()).
+  void schedule(double when, Callback cb);
+  // Schedules `cb` `delay` seconds from now.
+  void schedule_in(double delay, Callback cb);
+
+  double now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool step();
+
+  // Runs events until the queue drains or `max_events` is hit.
+  // Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // Runs events with time <= horizon; now() advances to the horizon.
+  std::size_t run_until(double horizon);
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dsdn::sim

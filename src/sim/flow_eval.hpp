@@ -1,0 +1,81 @@
+#pragma once
+
+// Flow-level loss evaluation: given each demand's currently *installed*
+// routing (which may be stale relative to the live topology), compute
+// per-demand loss fractions, per-class blast radius (Eq 1), and the data
+// for bad-seconds integration (Eq 2).
+//
+// Model (matching the paper's flow-granularity simulator):
+//  - Traffic on a weighted path that crosses a *down* link is either
+//    spliced onto a pre-installed FRR bypass (adding its load there) or
+//    dropped entirely.
+//  - Each link grants capacity to offered load in strict priority order;
+//    the over-subscribed remainder of each class is dropped
+//    proportionally.
+//  - A demand's loss is the max over its links of its class's drop
+//    fraction there, averaged across its weighted paths.
+
+#include <optional>
+
+#include "dataplane/frr.hpp"
+#include "metrics/slo.hpp"
+#include "te/types.hpp"
+#include "traffic/flow_group.hpp"
+
+namespace dsdn::sim {
+
+// Installed routing state: one row per demand (same order as the
+// TrafficMatrix).
+struct InstalledRouting {
+  std::vector<std::vector<te::WeightedPath>> rows;
+
+  static InstalledRouting from_solution(const te::Solution& solution);
+};
+
+struct LossReport {
+  // Loss fraction in [0,1] per demand.
+  std::vector<double> loss;
+  // Per-link utilization (offered / capacity) for diagnostics.
+  std::vector<double> utilization;
+};
+
+struct LossOptions {
+  // Strict-priority link scheduling (the steady-state QoS model). Set to
+  // false for FRR-window analysis (Appendix C): transient bypass
+  // congestion overflows shallow hardware queues before scheduler
+  // protection engages, so drops hit all classes proportionally -- which
+  // is how FRR congestion incidents impact high-priority traffic in
+  // production despite QoS.
+  bool strict_priority = true;
+  // Spare-capacity view used by capacity-aware bypass *selection* (what a
+  // dSDN router knows from NSU-advertised utilization). When null,
+  // selection sees raw link capacities.
+  const std::vector<double>* bypass_residual = nullptr;
+};
+
+LossReport evaluate_loss(const topo::Topology& topo,
+                         const traffic::TrafficMatrix& tm,
+                         const InstalledRouting& routing,
+                         const dataplane::BypassPlan* bypasses = nullptr,
+                         const LossOptions& options = {});
+
+// Blast radius (Eq 1) for one priority class: fraction of that class's
+// flow groups violating their SLO, where a group violates when more than
+// kGroupViolationFraction of its flow volume loses beyond the class
+// threshold.
+double blast_radius(const traffic::TrafficMatrix& tm,
+                    const std::vector<traffic::FlowGroup>& class_groups,
+                    const LossReport& report);
+
+// Median end-to-end latency inflation across demands whose paths changed
+// vs a reference routing (Table 2's latency column). Demands with no
+// live path are skipped.
+double median_latency_inflation(const topo::Topology& topo,
+                                const traffic::TrafficMatrix& tm,
+                                const InstalledRouting& reference,
+                                const InstalledRouting& current,
+                                const dataplane::BypassPlan* bypasses,
+                                const std::vector<double>* bypass_residual
+                                = nullptr);
+
+}  // namespace dsdn::sim

@@ -1,0 +1,95 @@
+#include "te/ksp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dsdn::te {
+
+namespace {
+
+struct Candidate {
+  double cost;
+  Path path;
+  bool operator<(const Candidate& other) const {
+    if (cost != other.cost) return cost < other.cost;
+    return path.links < other.path.links;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const topo::Topology& topo,
+                                   topo::NodeId src, topo::NodeId dst,
+                                   std::size_t k, const SpConstraints& c) {
+  if (src == dst) throw std::invalid_argument("k_shortest_paths: src == dst");
+  std::vector<Path> result;
+  if (k == 0) return result;
+
+  auto first = shortest_path(topo, src, dst, c);
+  if (!first) return result;
+  result.push_back(*first);
+
+  std::set<Candidate> candidates;
+  std::vector<char> allowed_base(
+      topo.num_links(), 1);
+  if (c.link_allowed) {
+    for (std::size_t l = 0; l < topo.num_links(); ++l)
+      allowed_base[l] = (*c.link_allowed)[l];
+  }
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    const auto prev_nodes = prev.node_sequence(topo);
+    // Spur from each node of the previous path (except dst).
+    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      const topo::NodeId spur_node = prev_nodes[i];
+      Path root;
+      root.links.assign(prev.links.begin(),
+                        prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+
+      std::vector<char> allowed = allowed_base;
+      // Remove links that would recreate an already-found path sharing
+      // this root.
+      for (const Path& found : result) {
+        if (found.links.size() > i &&
+            std::equal(root.links.begin(), root.links.end(),
+                       found.links.begin())) {
+          allowed[found.links[i]] = 0;
+        }
+      }
+      // Remove root nodes (except spur) to keep paths loopless: ban all
+      // links touching them.
+      for (std::size_t j = 0; j < i; ++j) {
+        const topo::NodeId banned = prev_nodes[j];
+        for (topo::LinkId lid : topo.node(banned).out_links) allowed[lid] = 0;
+        for (topo::LinkId lid : topo.node(banned).in_links) allowed[lid] = 0;
+      }
+
+      SpConstraints spur_c = c;
+      spur_c.link_allowed = &allowed;
+      auto spur = shortest_path(topo, spur_node, dst, spur_c);
+      if (!spur) continue;
+
+      Path total = root;
+      total.links.insert(total.links.end(), spur->links.begin(),
+                         spur->links.end());
+      if (!total.is_valid(topo)) continue;
+      candidates.insert({total.igp_cost(topo), std::move(total)});
+    }
+    if (candidates.empty()) break;
+    auto best = candidates.begin();
+    // Skip duplicates of already-selected paths.
+    while (best != candidates.end() &&
+           std::find(result.begin(), result.end(), best->path) !=
+               result.end()) {
+      best = candidates.erase(best);
+    }
+    if (best == candidates.end()) break;
+    result.push_back(best->path);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace dsdn::te

@@ -1,0 +1,21 @@
+#pragma once
+
+// Yen's k-shortest loopless paths. Used by the FRR multi-path bypass
+// strategies (Appendix C) and available to the solver for candidate-path
+// generation.
+
+#include <vector>
+
+#include "te/dijkstra.hpp"
+
+namespace dsdn::te {
+
+// Up to k loopless paths src->dst in nondecreasing IGP-cost order,
+// honoring the constraints. Fewer than k are returned when the graph
+// doesn't admit them.
+std::vector<Path> k_shortest_paths(const topo::Topology& topo,
+                                   topo::NodeId src, topo::NodeId dst,
+                                   std::size_t k,
+                                   const SpConstraints& c = {});
+
+}  // namespace dsdn::te

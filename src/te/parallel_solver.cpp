@@ -1,0 +1,31 @@
+#include "te/parallel_solver.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace dsdn::te {
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(n_threads(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace dsdn::te

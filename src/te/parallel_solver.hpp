@@ -1,0 +1,30 @@
+#pragma once
+
+// A small blocking thread pool used for the solver's data-parallel
+// path-search step. Kept deliberately simple: parallel_for partitions the
+// index space into contiguous chunks, one per worker, and joins before
+// returning -- the solver's correctness never depends on scheduling.
+
+#include <cstddef>
+#include <functional>
+
+namespace dsdn::te {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 or 1 means "run inline on the caller".
+  explicit ThreadPool(std::size_t n_threads) : n_threads_(n_threads) {}
+
+  std::size_t n_threads() const { return n_threads_ == 0 ? 1 : n_threads_; }
+
+  // Invokes fn(i) for i in [0, n), partitioned across workers. Blocks
+  // until every invocation completes. fn must be safe to call
+  // concurrently for distinct i.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t n_threads_;
+};
+
+}  // namespace dsdn::te

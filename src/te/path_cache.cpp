@@ -1,0 +1,53 @@
+#include "te/path_cache.hpp"
+
+namespace dsdn::te {
+
+PathCache::PathCache(const topo::Topology& topo) : n_(topo.num_nodes()) {
+  paths_.resize(n_ * n_);
+  SpConstraints ignore_state;
+  ignore_state.require_up = false;  // capacity- and state-oblivious
+  for (topo::NodeId s = 0; s < n_; ++s) {
+    auto tree = shortest_path_tree(topo, s, ignore_state);
+    for (topo::NodeId d = 0; d < n_; ++d) {
+      if (d == s) continue;
+      paths_[index(s, d)] = std::move(tree[d]);
+    }
+  }
+}
+
+std::optional<Path> PathCache::get(const topo::Topology& topo,
+                                   topo::NodeId src, topo::NodeId dst,
+                                   const SpConstraints& c) const {
+  const Path& cached = paths_[index(src, dst)];
+  if (!cached.empty()) {
+    bool feasible = true;
+    for (topo::LinkId lid : cached.links) {
+      const topo::Link& l = topo.link(lid);
+      if (c.require_up && !l.up) {
+        feasible = false;
+        break;
+      }
+      if (c.link_allowed && !(*c.link_allowed)[lid]) {
+        feasible = false;
+        break;
+      }
+      if (c.residual_gbps && (*c.residual_gbps)[lid] < c.min_residual) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return shortest_path(topo, src, dst, c);
+}
+
+void PathCache::reset_counters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dsdn::te

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shortest-path pre-computation cache (§5.3, Fig 15).
+//
+// The solver originally recomputed the shortest path whenever available
+// capacity changed. Instead we pre-compute the capacity-oblivious shortest
+// path for every (src, dst) pair once per topology; at runtime the solver
+// first checks whether the cached path still has the required residual
+// capacity on every hop, and only falls back to a constrained Dijkstra
+// when it does not. The cache stays valid across any capacity change --
+// including full loss and restoration of a link -- and only needs
+// rebuilding when a *new link* is added (a network upgrade event).
+
+#include <atomic>
+#include <optional>
+
+#include "te/dijkstra.hpp"
+
+namespace dsdn::te {
+
+class PathCache {
+ public:
+  // Pre-computes all-pairs shortest paths on the given topology,
+  // ignoring capacity and link up/down state.
+  explicit PathCache(const topo::Topology& topo);
+
+  // Returns the cached shortest path if it satisfies the constraints
+  // (links up, residual >= min_residual on every hop); otherwise runs a
+  // constrained Dijkstra. nullopt when no feasible path exists at all.
+  std::optional<Path> get(const topo::Topology& topo, topo::NodeId src,
+                          topo::NodeId dst, const SpConstraints& c) const;
+
+  // Hit counters, for the Fig 15 report.
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  void reset_counters();
+
+ private:
+  std::size_t index(topo::NodeId src, topo::NodeId dst) const {
+    return static_cast<std::size_t>(src) * n_ + dst;
+  }
+
+  std::size_t n_;
+  std::vector<Path> paths_;  // row-major (src, dst); empty = disconnected
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace dsdn::te

@@ -1,0 +1,82 @@
+#pragma once
+
+// The traffic-engineering solver shared by cSDN and dSDN (§3.2).
+//
+// Based on B4's TE [27]: an approximate max-min fair allocator that
+// balances short paths against high utilization, with the paper's
+// modification of removing per-service utility curves (demand is measured
+// in-band and aggregated by (egress router, priority class)).
+//
+// Algorithm: strict priority across classes; within a class, progressive
+// filling ("waterfill") in rounds. Each round every still-active demand
+// (1) finds its current preferred path -- the shortest path with residual
+// capacity, via Dijkstra or the PathCache -- this step is data-parallel
+// across demands; then (2) a *serialized* allocation step grants each
+// demand a fair increment along its path, updating residual capacity.
+// Demands freeze when satisfied or when no capacity-feasible path remains
+// (they may be partially allocated). Decreasing available capacity makes
+// demands churn through more rounds, matching the paper's observation
+// that TE runtime grows as allocation gets harder (§5.3).
+//
+// The serialized step (2) is what limits parallel speedup ("our current
+// TE algorithm serializes on the final step in flow assignment", Fig 13).
+//
+// Determinism: the solver is a pure function of (topology, demands,
+// options). Every dSDN controller running it on an identical NodeStateDB
+// computes the identical Solution -- the consensus-free property.
+
+#include <cstddef>
+
+#include "te/path_cache.hpp"
+#include "te/types.hpp"
+
+namespace dsdn::te {
+
+struct SolverOptions {
+  // Threads for the path-search step. 1 = fully serial.
+  std::size_t num_threads = 1;
+  // Optional shortest-path cache (Fig 15 optimization). May be null.
+  const PathCache* cache = nullptr;
+  // Waterfill quantum: each round grants up to max_remaining/quantum_divisor
+  // per demand; smaller quanta => closer to exact max-min, more rounds.
+  double quantum_divisor = 8.0;
+  // When > 0, overrides the adaptive quantum with a fixed per-round grant
+  // (Gbps). With a fixed quantum, solver work scales with offered demand
+  // -- the progressive-filling behavior behind Fig 14's linear growth.
+  double quantum_gbps = 0.0;
+  // A demand is considered satisfied once its unserved remainder drops
+  // below this fraction of its original rate.
+  double satisfied_tolerance = 1e-3;
+  // Hard cap on waterfill rounds per class (safety valve).
+  std::size_t max_rounds = 400;
+  // Allocation below this is treated as zero (Gbps).
+  double epsilon_gbps = 1e-9;
+};
+
+struct SolveStats {
+  double wall_time_s = 0.0;
+  double path_search_time_s = 0.0;  // parallelizable portion
+  double allocation_time_s = 0.0;   // serialized portion
+  std::size_t rounds = 0;
+  std::size_t path_searches = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {}) : options_(options) {}
+
+  // Computes the full-network solution. `residual_override`, when
+  // non-null, seeds residual capacities (defaults to link capacities);
+  // used for what-if solves.
+  Solution solve(const topo::Topology& topo,
+                 const traffic::TrafficMatrix& tm,
+                 SolveStats* stats = nullptr,
+                 const std::vector<double>* residual_override = nullptr) const;
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace dsdn::te

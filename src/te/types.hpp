@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared path/allocation types for the TE layer.
+//
+// A Path is a sequence of *directed link ids* -- exactly the representation
+// a dSDN headend compiles into an MPLS label stack (§3.2). Keeping link
+// ids (not node ids) makes parallel links unambiguous and the dataplane
+// encoding trivial.
+
+#include <string>
+#include <vector>
+
+#include "metrics/slo.hpp"
+#include "topo/topology.hpp"
+#include "traffic/matrix.hpp"
+
+namespace dsdn::te {
+
+struct Path {
+  std::vector<topo::LinkId> links;
+
+  bool empty() const { return links.empty(); }
+  std::size_t hops() const { return links.size(); }
+
+  topo::NodeId src(const topo::Topology& topo) const;
+  topo::NodeId dst(const topo::Topology& topo) const;
+
+  double igp_cost(const topo::Topology& topo) const;
+  double latency_s(const topo::Topology& topo) const;
+
+  // True iff consecutive links share endpoints, every link is up, and no
+  // node repeats (loop-free).
+  bool is_valid(const topo::Topology& topo) const;
+
+  // Node sequence src, ..., dst (empty path -> empty).
+  std::vector<topo::NodeId> node_sequence(const topo::Topology& topo) const;
+
+  std::string to_string(const topo::Topology& topo) const;
+
+  bool operator==(const Path&) const = default;
+};
+
+// One weighted path assignment for a demand. A demand may be split across
+// several paths; weights are the fraction of the demand's *allocated*
+// rate on each path.
+struct WeightedPath {
+  Path path;
+  double weight = 1.0;
+
+  bool operator==(const WeightedPath&) const = default;
+};
+
+// TE's output for a single demand.
+struct Allocation {
+  traffic::Demand demand;
+  // Rate actually admitted (<= demand.rate_gbps when capacity is short).
+  double allocated_gbps = 0.0;
+  std::vector<WeightedPath> paths;
+};
+
+// The full TE solution: one Allocation per input demand, same order.
+struct Solution {
+  std::vector<Allocation> allocations;
+
+  // Residual capacity per link after placing the solution.
+  std::vector<double> residual_capacity(const topo::Topology& topo) const;
+
+  // Max over links of placed_load / capacity.
+  double max_utilization(const topo::Topology& topo) const;
+
+  // Sum over demands of allocated rate.
+  double total_allocated_gbps() const;
+
+  // Allocations whose demand originates at `src` -- the subset a dSDN
+  // headend programs (§3.2: "selects the subset of paths that start at R").
+  std::vector<const Allocation*> originating_at(topo::NodeId src) const;
+};
+
+}  // namespace dsdn::te

@@ -1,0 +1,91 @@
+#include "topo/prefix.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dsdn::topo {
+
+std::uint32_t Prefix::mask() const {
+  if (len < 0 || len > 32) throw std::invalid_argument("prefix len");
+  if (len == 0) return 0;
+  return ~std::uint32_t{0} << (32 - len);
+}
+
+bool Prefix::contains(std::uint32_t ip) const {
+  return (ip & mask()) == (addr & mask());
+}
+
+std::string Prefix::to_string() const {
+  return format_ipv4(addr & mask()) + "/" + std::to_string(len);
+}
+
+std::uint32_t parse_ipv4(const std::string& dotted) {
+  std::uint32_t out = 0;
+  std::istringstream is(dotted);
+  for (int i = 0; i < 4; ++i) {
+    int octet = -1;
+    is >> octet;
+    if (octet < 0 || octet > 255) throw std::invalid_argument("bad ipv4");
+    out = (out << 8) | static_cast<std::uint32_t>(octet);
+    if (i < 3) {
+      char dot = 0;
+      is >> dot;
+      if (dot != '.') throw std::invalid_argument("bad ipv4");
+    }
+  }
+  return out;
+}
+
+std::string format_ipv4(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 255) << '.' << ((ip >> 16) & 255) << '.'
+     << ((ip >> 8) & 255) << '.' << (ip & 255);
+  return os.str();
+}
+
+void PrefixTable::insert(const Prefix& p, NodeId egress) {
+  if (p.len < 0 || p.len > 32) throw std::invalid_argument("prefix len");
+  by_len_[p.len][p.addr & p.mask()] = egress;
+}
+
+void PrefixTable::erase(const Prefix& p) {
+  if (p.len < 0 || p.len > 32) throw std::invalid_argument("prefix len");
+  by_len_[p.len].erase(p.addr & p.mask());
+}
+
+void PrefixTable::clear() {
+  for (auto& bucket : by_len_) bucket.clear();
+}
+
+std::size_t PrefixTable::size() const {
+  std::size_t total = 0;
+  for (const auto& bucket : by_len_) total += bucket.size();
+  return total;
+}
+
+std::optional<NodeId> PrefixTable::lookup(std::uint32_t ip) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_len_[len];
+    if (bucket.empty()) continue;
+    const std::uint32_t mask = len == 0 ? 0 : (~std::uint32_t{0} << (32 - len));
+    const auto it = bucket.find(ip & mask);
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<Prefix> assign_router_prefixes(const Topology& topo) {
+  std::vector<Prefix> out;
+  out.reserve(topo.num_nodes());
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    Prefix p;
+    p.addr = (10u << 24) | ((n >> 8) << 16) | ((n & 255u) << 8);
+    p.len = 24;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::uint32_t host_in(const Prefix& p) { return (p.addr & p.mask()) | 7u; }
+
+}  // namespace dsdn::topo

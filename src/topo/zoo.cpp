@@ -1,0 +1,115 @@
+#include "topo/zoo.hpp"
+
+#include <cmath>
+
+#include "topo/builder.hpp"
+#include "topo/synthetic.hpp"
+
+namespace dsdn::topo {
+
+Topology make_abilene() {
+  // The Internet2 Abilene backbone: 11 PoPs, 14 bidirectional OC-192
+  // (10 Gbps) circuits. Delays approximate great-circle fiber latency.
+  std::vector<NodeSpec> nodes = {
+      {"seattle", "seattle", 1.2},   {"sunnyvale", "sunnyvale", 2.0},
+      {"losangeles", "losangeles", 2.4}, {"denver", "denver", 1.0},
+      {"kansascity", "kansascity", 0.9}, {"houston", "houston", 1.5},
+      {"chicago", "chicago", 2.2},   {"indianapolis", "indianapolis", 0.8},
+      {"atlanta", "atlanta", 1.6},   {"washington", "washington", 2.0},
+      {"newyork", "newyork", 2.8},
+  };
+  std::vector<EdgeSpec> edges = {
+      {"seattle", "sunnyvale", 10, 1, 8.0},
+      {"seattle", "denver", 10, 1, 10.0},
+      {"sunnyvale", "losangeles", 10, 1, 3.0},
+      {"sunnyvale", "denver", 10, 1, 9.0},
+      {"losangeles", "houston", 10, 1, 12.0},
+      {"denver", "kansascity", 10, 1, 5.0},
+      {"kansascity", "houston", 10, 1, 7.0},
+      {"kansascity", "indianapolis", 10, 1, 4.0},
+      {"houston", "atlanta", 10, 1, 9.0},
+      {"chicago", "indianapolis", 10, 1, 2.0},
+      {"chicago", "newyork", 10, 1, 7.0},
+      {"indianapolis", "atlanta", 10, 1, 5.0},
+      {"atlanta", "washington", 10, 1, 6.0},
+      {"washington", "newyork", 10, 1, 2.5},
+  };
+  return build_from_specs(nodes, edges);
+}
+
+Topology make_geant() {
+  // GEANT (2004 snapshot): 23 national research networks. Capacities are a
+  // mix of 10G core and 2.5G spurs as in the published map.
+  std::vector<NodeSpec> nodes;
+  for (const char* cc :
+       {"at", "be", "ch", "cy", "cz", "de", "dk", "es", "fr", "gr", "hr",
+        "hu", "ie", "il", "it", "lu", "nl", "no", "pl", "pt", "se", "si",
+        "uk"}) {
+    nodes.push_back({cc, cc, 1.0});
+  }
+  // Western-core countries source/sink more traffic.
+  for (auto& n : nodes) {
+    if (n.name == "de" || n.name == "uk" || n.name == "fr" || n.name == "it" ||
+        n.name == "nl") {
+      n.gravity_weight = 3.0;
+    }
+  }
+  std::vector<EdgeSpec> edges = {
+      {"uk", "fr", 10, 1, 4.0},   {"uk", "nl", 10, 1, 3.0},
+      {"uk", "ie", 2.5, 1, 3.0},  {"fr", "es", 10, 1, 5.0},
+      {"fr", "ch", 10, 1, 3.0},   {"fr", "lu", 2.5, 1, 2.0},
+      {"fr", "be", 2.5, 1, 2.0},  {"be", "nl", 2.5, 1, 1.5},
+      {"nl", "de", 10, 1, 2.5},   {"de", "dk", 10, 1, 3.0},
+      {"de", "cz", 10, 1, 2.5},   {"de", "ch", 10, 1, 3.5},
+      {"de", "at", 10, 1, 3.0},   {"de", "lu", 2.5, 1, 2.0},
+      {"ch", "it", 10, 1, 3.0},   {"it", "at", 10, 1, 4.0},
+      {"it", "gr", 2.5, 1, 7.0},  {"it", "es", 10, 1, 6.0},
+      {"it", "il", 2.5, 1, 12.0}, {"at", "hu", 10, 1, 2.0},
+      {"at", "si", 2.5, 1, 2.0},  {"at", "cz", 2.5, 1, 2.0},
+      {"cz", "pl", 10, 1, 3.0},   {"pl", "de", 10, 1, 4.0},
+      {"hu", "hr", 2.5, 1, 2.0},  {"hr", "si", 2.5, 1, 1.5},
+      {"hu", "gr", 2.5, 1, 6.0},  {"gr", "cy", 2.5, 1, 5.0},
+      {"cy", "il", 2.5, 1, 2.5},  {"dk", "se", 10, 1, 2.5},
+      {"dk", "no", 2.5, 1, 3.0},  {"se", "no", 2.5, 1, 2.5},
+      {"se", "pl", 2.5, 1, 4.5},  {"es", "pt", 2.5, 1, 3.0},
+      {"pt", "uk", 2.5, 1, 8.0},  {"nl", "uk", 2.5, 1, 3.0},
+      {"de", "il", 2.5, 1, 14.0},
+  };
+  return build_from_specs(nodes, edges);
+}
+
+Topology make_esnet() {
+  // ESNet reconstruction: 68 sites, national-lab style network -- a core
+  // ring of hubs with lab spurs. Deterministic.
+  return detail::make_geo_network({.n_nodes = 68,
+                                   .n_hubs = 14,
+                                   .avg_spur_degree = 1,
+                                   .extra_core_chords = 8,
+                                   .capacity_core_gbps = 100,
+                                   .capacity_spur_gbps = 10,
+                                   .seed = 0xE5E5,
+                                   .name_prefix = "esnet"});
+}
+
+Topology make_cogentco() {
+  // Cogent reconstruction: 197 PoPs, dense commercial mesh in the core.
+  return detail::make_geo_network({.n_nodes = 197,
+                                   .n_hubs = 40,
+                                   .avg_spur_degree = 2,
+                                   .extra_core_chords = 30,
+                                   .capacity_core_gbps = 100,
+                                   .capacity_spur_gbps = 10,
+                                   .seed = 0xC06E,
+                                   .name_prefix = "cogent"});
+}
+
+std::vector<ZooEntry> zoo_catalog() {
+  return {
+      {"Abilene", &make_abilene, 11},
+      {"GEANT", &make_geant, 23},
+      {"ESNet", &make_esnet, 68},
+      {"Cogentco", &make_cogentco, 197},
+  };
+}
+
+}  // namespace dsdn::topo

@@ -1,0 +1,35 @@
+#pragma once
+
+// Reconstructions of the external topologies used in Fig 15, at the node
+// counts the paper quotes from the Internet TopologyZoo [30]:
+//
+//   Abilene (11)  -- exact historical edge list
+//   GEANT   (23)  -- the 2004 pan-European research network, close
+//                    reconstruction of its published edges
+//   ESNet   (68)  -- procedural reconstruction at the published scale
+//   Cogentco(197) -- procedural reconstruction at the published scale
+//
+// The procedural reconstructions are deterministic (fixed internal seed)
+// and match node count, approximate average degree, and geographic-style
+// delay structure; Fig 15 depends on graph size/diameter, not exact edges
+// (see DESIGN.md, substitutions).
+
+#include "topo/topology.hpp"
+
+namespace dsdn::topo {
+
+Topology make_abilene();
+Topology make_geant();
+Topology make_esnet();
+Topology make_cogentco();
+
+struct ZooEntry {
+  const char* name;
+  Topology (*factory)();
+  std::size_t expected_nodes;
+};
+
+// The Fig 15 external topologies, smallest first.
+std::vector<ZooEntry> zoo_catalog();
+
+}  // namespace dsdn::topo

@@ -1,0 +1,97 @@
+#include "traffic/estimator.hpp"
+
+#include <stdexcept>
+
+namespace dsdn::traffic {
+
+DemandEstimator::DemandEstimator(topo::NodeId self, Options options)
+    : self_(self), options_(options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0)
+    throw std::invalid_argument("DemandEstimator: alpha out of (0,1]");
+}
+
+void DemandEstimator::observe(topo::NodeId egress,
+                              metrics::PriorityClass priority,
+                              double rate_gbps) {
+  if (egress == self_)
+    throw std::invalid_argument("observe: egress == self");
+  if (rate_gbps < 0) throw std::invalid_argument("observe: negative rate");
+  epoch_accum_[{egress, static_cast<int>(priority)}] += rate_gbps;
+}
+
+void DemandEstimator::roll_epoch() {
+  // Update every tracked key; unobserved keys decay toward zero.
+  for (auto it = ewma_.begin(); it != ewma_.end();) {
+    const auto obs = epoch_accum_.find(it->first);
+    const double sample = obs == epoch_accum_.end() ? 0.0 : obs->second;
+    it->second = (1.0 - options_.alpha) * it->second +
+                 options_.alpha * sample;
+    if (it->second < options_.floor_gbps) {
+      it = ewma_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Brand-new keys start at alpha * sample.
+  for (const auto& [key, sample] : epoch_accum_) {
+    if (!ewma_.contains(key) && options_.alpha * sample >= options_.floor_gbps) {
+      ewma_[key] = options_.alpha * sample;
+    }
+  }
+  epoch_accum_.clear();
+}
+
+std::vector<core::DemandAdvert> DemandEstimator::advertised() const {
+  std::vector<core::DemandAdvert> out;
+  out.reserve(ewma_.size());
+  for (const auto& [key, rate] : ewma_) {
+    out.push_back(core::DemandAdvert{
+        key.first, static_cast<metrics::PriorityClass>(key.second), rate});
+  }
+  return out;
+}
+
+double DemandEstimator::estimate(topo::NodeId egress,
+                                 metrics::PriorityClass priority) const {
+  const auto it = ewma_.find({egress, static_cast<int>(priority)});
+  return it == ewma_.end() ? 0.0 : it->second;
+}
+
+EstimatingTelemetry::EstimatingTelemetry(
+    const topo::Topology* topo, std::vector<topo::Prefix> router_prefixes,
+    const DemandEstimator* estimator)
+    : topo_(topo),
+      router_prefixes_(std::move(router_prefixes)),
+      estimator_(estimator) {}
+
+std::vector<core::LinkAdvert> EstimatingTelemetry::read_links(
+    topo::NodeId self) const {
+  std::vector<core::LinkAdvert> out;
+  for (topo::LinkId lid : topo_->node(self).out_links) {
+    const topo::Link& l = topo_->link(lid);
+    core::LinkAdvert la;
+    la.link = lid;
+    la.peer = l.dst;
+    la.up = l.up;
+    la.capacity_gbps = l.capacity_gbps;
+    la.igp_metric = l.igp_metric;
+    la.delay_s = l.delay_s;
+    out.push_back(la);
+  }
+  return out;
+}
+
+std::vector<topo::Prefix> EstimatingTelemetry::read_prefixes(
+    topo::NodeId self) const {
+  if (self < router_prefixes_.size()) return {router_prefixes_[self]};
+  return {};
+}
+
+std::vector<core::DemandAdvert> EstimatingTelemetry::read_demands(
+    topo::NodeId self) const {
+  if (estimator_->self() != self)
+    throw std::logic_error("EstimatingTelemetry: estimator/router mismatch");
+  return estimator_->advertised();
+}
+
+}  // namespace dsdn::traffic

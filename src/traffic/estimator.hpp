@@ -1,0 +1,84 @@
+#pragma once
+
+// In-band demand measurement (§3.2): dSDN does not collect demand from an
+// external service -- each router measures the traffic it actually
+// forwards, aggregated by (egress router, priority class), and advertises
+// the estimate in its NSUs.
+//
+// DemandEstimator models the measurement pipeline: per-epoch byte counts
+// are folded into an exponentially weighted moving average, so the
+// advertised demand tracks real traffic with bounded lag and smooths out
+// bursts (TE should not chase noise). Entries that stop receiving
+// traffic decay toward zero and are eventually dropped, keeping the NSU
+// small.
+
+#include <map>
+
+#include "core/local_state.hpp"
+#include "core/nsu.hpp"
+#include "traffic/matrix.hpp"
+
+namespace dsdn::traffic {
+
+class DemandEstimator {
+ public:
+  struct Options {
+    // EWMA weight of the newest epoch (0 < alpha <= 1).
+    double alpha = 0.3;
+    // Estimates below this rate are dropped from the advertisement.
+    double floor_gbps = 1e-6;
+  };
+
+  explicit DemandEstimator(topo::NodeId self)
+      : DemandEstimator(self, Options{}) {}
+  DemandEstimator(topo::NodeId self, Options options);
+
+  topo::NodeId self() const { return self_; }
+
+  // Accumulates observed traffic toward `egress` during the current
+  // epoch (Gbps averaged over the epoch; additive across calls).
+  void observe(topo::NodeId egress, metrics::PriorityClass priority,
+               double rate_gbps);
+
+  // Closes the epoch: folds accumulated observations into the EWMA.
+  // Keys with no observation this epoch decay toward zero.
+  void roll_epoch();
+
+  // Current smoothed estimates, ready for an NSU.
+  std::vector<core::DemandAdvert> advertised() const;
+
+  // Convenience: the estimate for one key (0 when absent).
+  double estimate(topo::NodeId egress, metrics::PriorityClass priority) const;
+
+  std::size_t num_tracked() const { return ewma_.size(); }
+
+ private:
+  using Key = std::pair<topo::NodeId, int>;
+
+  topo::NodeId self_;
+  Options options_;
+  std::map<Key, double> ewma_;
+  std::map<Key, double> epoch_accum_;
+};
+
+// TelemetrySource whose demand section comes from an estimator instead
+// of ground truth -- what a production LocalState would wire to the
+// forwarding counters.
+class EstimatingTelemetry final : public core::TelemetrySource {
+ public:
+  EstimatingTelemetry(const topo::Topology* topo,
+                      std::vector<topo::Prefix> router_prefixes,
+                      const DemandEstimator* estimator);
+
+  std::vector<core::LinkAdvert> read_links(topo::NodeId self) const override;
+  std::vector<topo::Prefix> read_prefixes(topo::NodeId self) const override;
+  std::vector<core::DemandAdvert> read_demands(
+      topo::NodeId self) const override;
+
+ private:
+  const topo::Topology* topo_;
+  std::vector<topo::Prefix> router_prefixes_;
+  const DemandEstimator* estimator_;
+};
+
+}  // namespace dsdn::traffic

@@ -1,0 +1,34 @@
+#include "traffic/flow_group.hpp"
+
+namespace dsdn::traffic {
+
+std::vector<FlowGroup> group_flows(const topo::Topology& topo,
+                                   const TrafficMatrix& tm) {
+  std::map<FlowGroupKey, FlowGroup> groups;
+  const auto& demands = tm.demands();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    FlowGroupKey key{d.priority, topo.node(d.src).metro,
+                     topo.node(d.dst).metro};
+    FlowGroup& g = groups[key];
+    g.key = key;
+    g.demand_indices.push_back(i);
+    g.total_rate_gbps += d.rate_gbps;
+  }
+  std::vector<FlowGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, g] : groups) out.push_back(std::move(g));
+  return out;
+}
+
+std::vector<FlowGroup> group_flows_of_class(const topo::Topology& topo,
+                                            const TrafficMatrix& tm,
+                                            metrics::PriorityClass c) {
+  std::vector<FlowGroup> out;
+  for (FlowGroup& g : group_flows(topo, tm)) {
+    if (g.key.priority == c) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace dsdn::traffic

@@ -1,0 +1,41 @@
+#pragma once
+
+// Flow groups for SLO accounting (§5.2): flows are grouped by (priority
+// class, source metro, destination metro). Each demand belongs to exactly
+// one group; a group "violates its SLO" when more than 5% of its flow
+// volume loses traffic beyond the class threshold.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "traffic/matrix.hpp"
+
+namespace dsdn::traffic {
+
+struct FlowGroupKey {
+  metrics::PriorityClass priority = metrics::PriorityClass::kHigh;
+  std::string src_metro;
+  std::string dst_metro;
+
+  auto operator<=>(const FlowGroupKey&) const = default;
+};
+
+struct FlowGroup {
+  FlowGroupKey key;
+  // Indices into the TrafficMatrix's demand vector.
+  std::vector<std::size_t> demand_indices;
+  double total_rate_gbps = 0.0;
+};
+
+// Partitions the matrix into flow groups.
+std::vector<FlowGroup> group_flows(const topo::Topology& topo,
+                                   const TrafficMatrix& tm);
+
+// Groups restricted to one priority class.
+std::vector<FlowGroup> group_flows_of_class(const topo::Topology& topo,
+                                            const TrafficMatrix& tm,
+                                            metrics::PriorityClass c);
+
+}  // namespace dsdn::traffic

@@ -1,0 +1,42 @@
+#pragma once
+
+// Gravity-model traffic generation [52], as used by the paper for the
+// external Fig 15 topologies and by us for the synthetic B4/B2 stand-ins.
+//
+// The demand between routers i and j is proportional to
+// w_i * w_j / sum, where w is the node's gravity weight; the whole matrix
+// is then normalized so that the network's maximum-utilized link sits at
+// `target_max_utilization` when all demand follows IGP shortest paths --
+// a simple, reproducible way to pin "how loaded" a scenario is.
+
+#include "traffic/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace dsdn::traffic {
+
+struct GravityParams {
+  // Fraction of router pairs that exchange traffic (sparsifies the matrix
+  // for big topologies; 1.0 = all pairs).
+  double pair_fraction = 1.0;
+  // Per-class share of each pair's demand, highest class first. Must sum
+  // to ~1. Defaults mirror a production-like mix: little strict-priority
+  // traffic, lots of best effort.
+  double class_share[metrics::kNumPriorityClasses] = {0.2, 0.3, 0.5};
+  // Normalization target: max link utilization under shortest-path
+  // placement of the full matrix.
+  double target_max_utilization = 0.6;
+  // Lognormal jitter applied per pair so the matrix isn't perfectly
+  // smooth (sigma of the underlying normal).
+  double jitter_sigma = 0.35;
+  std::uint64_t seed = 42;
+};
+
+TrafficMatrix generate_gravity(const topo::Topology& topo,
+                               const GravityParams& params = {});
+
+// Max link utilization if `tm` were placed on IGP shortest paths (ties
+// broken deterministically). Exposed for tests and normalization.
+double shortest_path_max_utilization(const topo::Topology& topo,
+                                     const TrafficMatrix& tm);
+
+}  // namespace dsdn::traffic

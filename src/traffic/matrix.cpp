@@ -1,0 +1,59 @@
+#include "traffic/matrix.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace dsdn::traffic {
+
+TrafficMatrix::TrafficMatrix(std::vector<Demand> demands)
+    : demands_(std::move(demands)) {}
+
+void TrafficMatrix::add(const Demand& d) {
+  if (d.src == d.dst)
+    throw std::invalid_argument("TrafficMatrix: src == dst");
+  if (d.rate_gbps < 0)
+    throw std::invalid_argument("TrafficMatrix: negative rate");
+  demands_.push_back(d);
+}
+
+double TrafficMatrix::total_rate_gbps() const {
+  double total = 0.0;
+  for (const Demand& d : demands_) total += d.rate_gbps;
+  return total;
+}
+
+TrafficMatrix TrafficMatrix::scaled(double factor) const {
+  if (factor < 0) throw std::invalid_argument("scaled: negative factor");
+  TrafficMatrix out;
+  out.demands_.reserve(demands_.size());
+  for (Demand d : demands_) {
+    d.rate_gbps *= factor;
+    out.demands_.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Demand> TrafficMatrix::from(topo::NodeId src) const {
+  std::vector<Demand> out;
+  for (const Demand& d : demands_) {
+    if (d.src == src) out.push_back(d);
+  }
+  return out;
+}
+
+TrafficMatrix TrafficMatrix::aggregated() const {
+  std::map<std::tuple<topo::NodeId, topo::NodeId, int>, double> agg;
+  for (const Demand& d : demands_) {
+    agg[{d.src, d.dst, static_cast<int>(d.priority)}] += d.rate_gbps;
+  }
+  TrafficMatrix out;
+  for (const auto& [key, rate] : agg) {
+    out.demands_.push_back(Demand{
+        std::get<0>(key), std::get<1>(key),
+        static_cast<metrics::PriorityClass>(std::get<2>(key)), rate});
+  }
+  return out;
+}
+
+}  // namespace dsdn::traffic

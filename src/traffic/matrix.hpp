@@ -1,0 +1,52 @@
+#pragma once
+
+// Traffic demands. dSDN measures demand in-band and aggregates it by
+// (egress router, priority class) at each source (§3.2), so the canonical
+// unit here is a Demand: (src router, dst router, class) -> rate.
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/slo.hpp"
+#include "topo/topology.hpp"
+
+namespace dsdn::traffic {
+
+struct Demand {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  metrics::PriorityClass priority = metrics::PriorityClass::kHigh;
+  double rate_gbps = 0.0;
+
+  bool operator==(const Demand&) const = default;
+};
+
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(std::vector<Demand> demands);
+
+  void add(const Demand& d);
+
+  std::size_t size() const { return demands_.size(); }
+  bool empty() const { return demands_.empty(); }
+  const std::vector<Demand>& demands() const { return demands_; }
+
+  double total_rate_gbps() const;
+
+  // Returns a copy with every rate multiplied by `factor` (Fig 14's demand
+  // multiplier experiments).
+  TrafficMatrix scaled(double factor) const;
+
+  // Demands originating at `src`, i.e. the rows a headend places.
+  std::vector<Demand> from(topo::NodeId src) const;
+
+  // Merges duplicate (src, dst, class) rows by summing rates -- the
+  // aggregation dSDN performs on in-band measured demand.
+  TrafficMatrix aggregated() const;
+
+ private:
+  std::vector<Demand> demands_;
+};
+
+}  // namespace dsdn::traffic

@@ -1,0 +1,60 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsdn::util {
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  if (!std::isfinite(seconds)) return "inf";
+  const double abs = std::fabs(seconds);
+  if (abs < 1e-3) return format_double(seconds * 1e6, 1) + " us";
+  if (abs < 1.0) return format_double(seconds * 1e3, 2) + " ms";
+  return format_double(seconds, 2) + " s";
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != header.size())
+      throw std::invalid_argument("render_table: row arity mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << pad_right(row[c], widths[c]);
+    }
+    out << " |\n";
+  };
+  emit_row(header);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows) emit_row(row);
+  return out.str();
+}
+
+}  // namespace dsdn::util

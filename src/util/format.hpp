@@ -1,0 +1,26 @@
+#pragma once
+
+// Small text-formatting helpers used by the benchmark harnesses to print
+// paper-style tables without pulling in a formatting library.
+
+#include <string>
+#include <vector>
+
+namespace dsdn::util {
+
+// Formats seconds with an adaptive unit (us / ms / s) for readability.
+std::string format_duration(double seconds);
+
+// Fixed-width, right-aligned cell.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+// Formats a double with the given number of decimals.
+std::string format_double(double v, int decimals = 2);
+
+// Renders an aligned ASCII table. All rows must have the same arity as
+// the header.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dsdn::util

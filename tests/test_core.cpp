@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "core/bus.hpp"
+#include "core/controller.hpp"
+#include "core/nsu.hpp"
+#include "core/state_db.hpp"
+#include "topo/synthetic.hpp"
+#include "traffic/gravity.hpp"
+
+namespace dsdn::core {
+namespace {
+
+using metrics::PriorityClass;
+
+NodeStateUpdate minimal_nsu(topo::NodeId origin, std::uint64_t seq) {
+  NodeStateUpdate nsu;
+  nsu.origin = origin;
+  nsu.seq = seq;
+  return nsu;
+}
+
+TEST(Nsu, ValidatorAcceptsWellFormed) {
+  NodeStateUpdate nsu = minimal_nsu(1, 1);
+  nsu.links.push_back({0, 2, true, 100.0, 1.0, 0.001, 0});
+  nsu.prefixes.push_back({topo::parse_ipv4("10.0.0.0"), 24});
+  nsu.demands.push_back({2, PriorityClass::kHigh, 1.0});
+  EXPECT_EQ(validate_nsu(nsu), NsuValidity::kValid);
+}
+
+TEST(Nsu, ValidatorCatchesMalformations) {
+  NodeStateUpdate bad_origin = minimal_nsu(topo::kInvalidNode, 1);
+  EXPECT_EQ(validate_nsu(bad_origin), NsuValidity::kBadOrigin);
+
+  NodeStateUpdate dup = minimal_nsu(1, 1);
+  dup.links.push_back({7, 2, true, 1, 1, 0, 0});
+  dup.links.push_back({7, 3, true, 1, 1, 0, 0});
+  EXPECT_EQ(validate_nsu(dup), NsuValidity::kDuplicateLinkAdvert);
+
+  NodeStateUpdate neg_cap = minimal_nsu(1, 1);
+  neg_cap.links.push_back({7, 2, true, -5, 1, 0, 0});
+  EXPECT_EQ(validate_nsu(neg_cap), NsuValidity::kNegativeCapacity);
+
+  NodeStateUpdate neg_dem = minimal_nsu(1, 1);
+  neg_dem.demands.push_back({2, PriorityClass::kHigh, -1});
+  EXPECT_EQ(validate_nsu(neg_dem), NsuValidity::kNegativeDemand);
+
+  NodeStateUpdate self_dem = minimal_nsu(1, 1);
+  self_dem.demands.push_back({1, PriorityClass::kHigh, 1});
+  EXPECT_EQ(validate_nsu(self_dem), NsuValidity::kSelfDemand);
+
+  NodeStateUpdate bad_prefix = minimal_nsu(1, 1);
+  bad_prefix.prefixes.push_back({0, 40});
+  EXPECT_EQ(validate_nsu(bad_prefix), NsuValidity::kBadPrefix);
+}
+
+TEST(Nsu, WireSizeTracksContent) {
+  NodeStateUpdate small = minimal_nsu(1, 1);
+  NodeStateUpdate big = small;
+  for (int i = 0; i < 100; ++i)
+    big.demands.push_back(
+        {static_cast<topo::NodeId>(i + 2), PriorityClass::kHigh, 1.0});
+  EXPECT_GT(nsu_wire_size(big), nsu_wire_size(small) + 1000);
+}
+
+TEST(Bus, PublishReachesSubscribersInOrder) {
+  Bus bus;
+  std::vector<int> order;
+  bus.subscribe("t", [&](const std::any&) { order.push_back(1); });
+  bus.subscribe("t", [&](const std::any&) { order.push_back(2); });
+  bus.publish_as<int>("t", 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Bus, UnsubscribeStopsDelivery) {
+  Bus bus;
+  int hits = 0;
+  const auto token = bus.subscribe("t", [&](const std::any&) { ++hits; });
+  bus.publish_as<int>("t", 0);
+  bus.unsubscribe("t", token);
+  bus.publish_as<int>("t", 0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.num_subscribers("t"), 0u);
+}
+
+TEST(Bus, TypedPayloadRoundTrips) {
+  Bus bus;
+  std::uint64_t got = 0;
+  bus.subscribe("d", [&](const std::any& m) {
+    got = std::any_cast<std::uint64_t>(m);
+  });
+  bus.publish_as<std::uint64_t>("d", 42);
+  EXPECT_EQ(got, 42u);
+}
+
+// ---- StateDb ----
+
+class StateDbTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::make_ring(4);
+  StateDb db_{topo_};
+};
+
+TEST_F(StateDbTest, AcceptsFreshRejectsStale) {
+  EXPECT_TRUE(db_.apply(minimal_nsu(1, 5)));
+  EXPECT_FALSE(db_.apply(minimal_nsu(1, 5)));  // duplicate
+  EXPECT_FALSE(db_.apply(minimal_nsu(1, 3)));  // stale
+  EXPECT_TRUE(db_.apply(minimal_nsu(1, 6)));
+  EXPECT_EQ(db_.accepted(), 2u);
+  EXPECT_EQ(db_.rejected_stale(), 2u);
+  EXPECT_EQ(db_.seq_of(1), 6u);
+}
+
+TEST_F(StateDbTest, RejectsMalformed) {
+  EXPECT_FALSE(db_.apply(minimal_nsu(topo::kInvalidNode, 1)));
+  EXPECT_EQ(db_.rejected_invalid(), 1u);
+}
+
+TEST_F(StateDbTest, LinkStateUpdatesView) {
+  const topo::LinkId l = topo_.find_link(0, 1);
+  NodeStateUpdate nsu = minimal_nsu(0, 1);
+  nsu.links.push_back({l, 1, /*up=*/false, 100, 1, 0.001, 0});
+  EXPECT_TRUE(db_.apply(nsu));
+  EXPECT_FALSE(db_.view().link(l).up);
+  // A newer NSU restores it.
+  NodeStateUpdate fresh = minimal_nsu(0, 2);
+  fresh.links.push_back({l, 1, true, 100, 1, 0.001, 0});
+  EXPECT_TRUE(db_.apply(fresh));
+  EXPECT_TRUE(db_.view().link(l).up);
+}
+
+TEST_F(StateDbTest, DemandsAggregateAcrossOrigins) {
+  NodeStateUpdate a = minimal_nsu(0, 1);
+  a.demands.push_back({2, PriorityClass::kHigh, 3.0});
+  NodeStateUpdate b = minimal_nsu(1, 1);
+  b.demands.push_back({3, PriorityClass::kLow, 2.0});
+  db_.apply(a);
+  db_.apply(b);
+  const auto tm = db_.demands();
+  EXPECT_EQ(tm.size(), 2u);
+  EXPECT_DOUBLE_EQ(tm.total_rate_gbps(), 5.0);
+}
+
+TEST_F(StateDbTest, DigestOrderInsensitive) {
+  StateDb other(topo_);
+  NodeStateUpdate a = minimal_nsu(0, 1);
+  a.demands.push_back({2, PriorityClass::kHigh, 3.0});
+  NodeStateUpdate b = minimal_nsu(1, 4);
+  b.prefixes.push_back({topo::parse_ipv4("10.0.0.0"), 24});
+  db_.apply(a);
+  db_.apply(b);
+  other.apply(b);
+  other.apply(a);
+  EXPECT_EQ(db_.digest(), other.digest());
+}
+
+TEST_F(StateDbTest, DigestDetectsDivergence) {
+  StateDb other(topo_);
+  db_.apply(minimal_nsu(0, 1));
+  other.apply(minimal_nsu(0, 2));
+  EXPECT_NE(db_.digest(), other.digest());
+}
+
+TEST_F(StateDbTest, LoadFromNeighborConverges) {
+  NodeStateUpdate a = minimal_nsu(0, 3);
+  a.demands.push_back({2, PriorityClass::kHigh, 1.0});
+  db_.apply(a);
+  StateDb fresh(topo_);
+  fresh.load_from(db_);
+  EXPECT_EQ(fresh.digest(), db_.digest());
+  EXPECT_TRUE(fresh.heard_from(0));
+}
+
+TEST_F(StateDbTest, PrefixEntriesDeterministicOrder) {
+  NodeStateUpdate b = minimal_nsu(1, 1);
+  b.prefixes.push_back({topo::parse_ipv4("10.0.1.0"), 24});
+  NodeStateUpdate a = minimal_nsu(0, 1);
+  a.prefixes.push_back({topo::parse_ipv4("10.0.0.0"), 24});
+  db_.apply(b);
+  db_.apply(a);
+  const auto entries = db_.prefix_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].second, 0u);  // ordered by origin
+  EXPECT_EQ(entries[1].second, 1u);
+}
+
+// ---- Controller ----
+
+struct ControllerFixture {
+  topo::Topology topo = topo::make_ring(4);
+  traffic::TrafficMatrix tm;
+  std::vector<topo::Prefix> prefixes = topo::assign_router_prefixes(topo);
+  SimTelemetry telemetry{&topo, &tm, prefixes};
+
+  ControllerFixture() {
+    tm.add({0, 2, PriorityClass::kHigh, 1.0});
+    tm.add({1, 3, PriorityClass::kLow, 2.0});
+  }
+
+  Controller make(topo::NodeId self) {
+    ControllerConfig cc;
+    cc.self = self;
+    return Controller(cc, topo);
+  }
+};
+
+TEST(Controller, OriginateFloodsOnAllUpLinks) {
+  ControllerFixture f;
+  Controller c = f.make(0);
+  const auto d = c.originate(f.telemetry);
+  EXPECT_EQ(d.nsu.origin, 0u);
+  EXPECT_EQ(d.nsu.seq, 1u);
+  EXPECT_EQ(d.out_links.size(), f.topo.node(0).out_links.size());
+  EXPECT_FALSE(d.nsu.links.empty());
+  EXPECT_EQ(d.nsu.demands.size(), 1u);  // the 0->2 demand
+}
+
+TEST(Controller, HandleNsuFloodsExceptArrivalReverse) {
+  ControllerFixture f;
+  Controller c1 = f.make(1);
+  Controller c0 = f.make(0);
+  const auto origin = c0.originate(f.telemetry);
+  const topo::LinkId arrival = f.topo.find_link(0, 1);
+  const auto onward = c1.handle_nsu(origin.nsu, arrival);
+  ASSERT_FALSE(onward.empty());
+  for (topo::LinkId l : onward.out_links) {
+    EXPECT_NE(l, f.topo.link(arrival).reverse);
+  }
+}
+
+TEST(Controller, StaleNsuStopsFlooding) {
+  ControllerFixture f;
+  Controller c1 = f.make(1);
+  Controller c0 = f.make(0);
+  const auto origin = c0.originate(f.telemetry);
+  const topo::LinkId arrival = f.topo.find_link(0, 1);
+  EXPECT_FALSE(c1.handle_nsu(origin.nsu, arrival).empty());
+  // Second copy (e.g. around the ring): suppressed.
+  EXPECT_TRUE(c1.handle_nsu(origin.nsu, f.topo.find_link(2, 1)).empty());
+}
+
+TEST(Controller, OwnEchoNeverRefloods) {
+  ControllerFixture f;
+  Controller c0 = f.make(0);
+  const auto origin = c0.originate(f.telemetry);
+  EXPECT_TRUE(c0.handle_nsu(origin.nsu, f.topo.find_link(1, 0)).empty());
+}
+
+TEST(Controller, RecomputeProgramsOwnPathsOnly) {
+  ControllerFixture f;
+  Controller c0 = f.make(0);
+  Controller c1 = f.make(1);
+  // Give both controllers the full network view: each originates its own
+  // local state (a controller never accepts an echo of its own origin),
+  // and third-party NSUs are delivered to both.
+  {
+    const auto d0 = c0.originate(f.telemetry);
+    c1.handle_nsu(d0.nsu, topo::kInvalidLink);
+    const auto d1 = c1.originate(f.telemetry);
+    c0.handle_nsu(d1.nsu, topo::kInvalidLink);
+    for (topo::NodeId n = 2; n < f.topo.num_nodes(); ++n) {
+      Controller tmp = f.make(n);
+      const auto d = tmp.originate(f.telemetry);
+      c0.handle_nsu(d.nsu, topo::kInvalidLink);
+      c1.handle_nsu(d.nsu, topo::kInvalidLink);
+    }
+  }
+  const auto r0 = c0.recompute();
+  const auto r1 = c1.recompute();
+  EXPECT_EQ(r0.own_allocations, 1u);  // only 0->2
+  EXPECT_EQ(r1.own_allocations, 1u);  // only 1->3
+  EXPECT_GT(r0.encap.routes_installed, 0u);
+  // Transit tables are static per own links.
+  EXPECT_EQ(c0.dataplane().transit.size(), f.topo.node(0).out_links.size());
+}
+
+TEST(Controller, BusPublishesLifecycleTopics) {
+  ControllerFixture f;
+  Controller c = f.make(0);
+  int state_changes = 0, solutions = 0;
+  c.bus().subscribe(topics::kStateChanged,
+                    [&](const std::any&) { ++state_changes; });
+  c.bus().subscribe(topics::kSolutionReady,
+                    [&](const std::any&) { ++solutions; });
+  c.originate(f.telemetry);
+  c.recompute();
+  EXPECT_EQ(state_changes, 1);
+  EXPECT_EQ(solutions, 1);
+}
+
+TEST(Controller, RecoverFromNeighborRestoresSeq) {
+  ControllerFixture f;
+  Controller c0 = f.make(0);
+  Controller c1 = f.make(1);
+  // c0 originates three times; c1 hears them all.
+  for (int i = 0; i < 3; ++i) {
+    const auto d = c0.originate(f.telemetry);
+    c1.handle_nsu(d.nsu, f.topo.find_link(0, 1));
+  }
+  // c0 crashes and restarts fresh.
+  Controller reborn = f.make(0);
+  reborn.recover_from(c1);
+  EXPECT_EQ(reborn.state().seq_of(0), 3u);
+  // Its next origination must not be mistaken for stale.
+  const auto d = reborn.originate(f.telemetry);
+  EXPECT_GT(d.nsu.seq, 3u);
+  EXPECT_FALSE(c1.handle_nsu(d.nsu, f.topo.find_link(0, 1)).empty());
+}
+
+TEST(Controller, CustomSolveApiIsUsed) {
+  // Operator-defined control logic: swap the solver implementation.
+  class NullSolver final : public SolveApi {
+   public:
+    mutable int calls = 0;
+    te::Solution solve(const topo::Topology&, const traffic::TrafficMatrix&,
+                       te::SolveStats*) const override {
+      ++calls;
+      return {};
+    }
+  };
+  ControllerFixture f;
+  Controller c = f.make(0);
+  auto solver = std::make_unique<NullSolver>();
+  NullSolver* raw = solver.get();
+  c.set_solve_api(std::move(solver));
+  c.originate(f.telemetry);
+  c.recompute();
+  EXPECT_EQ(raw->calls, 1);
+  EXPECT_THROW(c.set_solve_api(nullptr), std::invalid_argument);
+}
+
+TEST(Controller, OpaqueTlvsSurviveValidationAndApply) {
+  ControllerFixture f;
+  StateDb db(f.topo);
+  NodeStateUpdate nsu = minimal_nsu(2, 1);
+  nsu.tlvs.push_back({0xBEEF, "future-algorithm-id"});
+  EXPECT_EQ(validate_nsu(nsu), NsuValidity::kValid);
+  EXPECT_TRUE(db.apply(nsu));
+}
+
+}  // namespace
+}  // namespace dsdn::core
+
+#include "core/introspection.hpp"
+
+namespace dsdn::core {
+namespace {
+
+TEST(Introspection, StatusReflectsControllerState) {
+  ControllerFixture f;
+  Controller c = f.make(0);
+  c.originate(f.telemetry);
+  c.recompute();
+  const auto status = collect_status(c);
+  EXPECT_EQ(status.self, 0u);
+  EXPECT_EQ(status.origins_heard, 1u);
+  EXPECT_EQ(status.nsus_accepted, 1u);
+  EXPECT_EQ(status.transit_entries, f.topo.node(0).out_links.size());
+  EXPECT_GT(status.prefixes, 0u);
+  EXPECT_EQ(status.links_up_in_view + status.links_down_in_view,
+            f.topo.num_links());
+
+  const auto text = render_status(status, c.state().view());
+  EXPECT_NE(text.find("origins heard"), std::string::npos);
+  EXPECT_NE(text.find("FRR-protected"), std::string::npos);
+}
+
+TEST(Introspection, FleetDigestCountsConvergence) {
+  ControllerFixture f;
+  Controller a = f.make(0);
+  Controller b = f.make(1);
+  const auto d0 = a.originate(f.telemetry);
+  b.handle_nsu(d0.nsu, topo::kInvalidLink);
+  const auto d1 = b.originate(f.telemetry);
+  a.handle_nsu(d1.nsu, topo::kInvalidLink);
+  const auto text = render_fleet_digest(
+      {collect_status(a), collect_status(b)});
+  EXPECT_NE(text.find("2 controllers, 2 sharing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsdn::core

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "sim/emulation.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+namespace dsdn::sim {
+namespace {
+
+using dataplane::ForwardOutcome;
+using metrics::PriorityClass;
+
+DsdnEmulation make_emulation(topo::Topology topo, double util = 0.5) {
+  traffic::GravityParams gp;
+  gp.target_max_utilization = util;
+  auto tm = traffic::generate_gravity(topo, gp);
+  return DsdnEmulation(std::move(topo), std::move(tm));
+}
+
+TEST(Emulation, BootstrapConvergesAllViews) {
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  EXPECT_TRUE(emu.views_converged());
+  EXPECT_GT(emu.messages_delivered(), emu.network().num_nodes());
+  EXPECT_GT(emu.sim_time(), 0.0);
+}
+
+TEST(Emulation, AllPairsDeliverAfterBootstrap) {
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  const auto& topo = emu.network();
+  std::size_t delivered = 0, total = 0;
+  for (topo::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (topo::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d || topo.node(s).metro == topo.node(d).metro) continue;
+      ++total;
+      const auto r = emu.send_packet(s, emu.address_of(d));
+      if (r.outcome == ForwardOutcome::kDelivered && r.final_node == d)
+        ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, total);
+}
+
+TEST(Emulation, PacketsFollowLoopFreePaths) {
+  auto emu = make_emulation(topo::make_geant());
+  emu.bootstrap();
+
+  for (topo::NodeId d = 1; d < 8; ++d) {
+    const auto r = emu.send_packet(0, emu.address_of(d), PriorityClass::kHigh,
+                                   /*entropy=*/d * 77);
+    ASSERT_EQ(r.outcome, ForwardOutcome::kDelivered);
+    std::set<topo::NodeId> seen(r.trace.begin(), r.trace.end());
+    EXPECT_EQ(seen.size(), r.trace.size()) << "loop in trace";
+  }
+}
+
+TEST(Emulation, FiberCutReconvergesAndRestoresDelivery) {
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  const auto& topo = emu.network();
+
+  // Cut seattle-sunnyvale (both are border nodes with alternates).
+  const topo::LinkId fiber = topo.find_link(0, 1);
+  ASSERT_NE(fiber, topo::kInvalidLink);
+  emu.fail_fiber(fiber);
+  EXPECT_TRUE(emu.views_converged());
+
+  // Traffic between the endpoints still flows, not over the dead fiber.
+  const auto r = emu.send_packet(0, emu.address_of(1));
+  ASSERT_EQ(r.outcome, ForwardOutcome::kDelivered);
+  EXPECT_EQ(r.final_node, 1u);
+  EXPECT_GT(r.hops, 1u);  // must detour
+
+  emu.repair_fiber(fiber);
+  EXPECT_TRUE(emu.views_converged());
+  const auto r2 = emu.send_packet(0, emu.address_of(1));
+  EXPECT_EQ(r2.outcome, ForwardOutcome::kDelivered);
+}
+
+TEST(Emulation, ConsensusFreeIdenticalSolutions) {
+  // With converged views, every controller computes the identical
+  // full-network TE solution (§3.1): verify via per-controller digests of
+  // their own installed routes against a central solve.
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  const auto& topo = emu.network();
+  // Every router's StateDb must agree with every other's.
+  const auto digest0 = emu.controller(0).state().digest();
+  for (topo::NodeId n = 1; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(emu.controller(n).state().digest(), digest0);
+  }
+}
+
+TEST(Emulation, CrashRecoveryRejoinsNetwork) {
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  emu.crash_and_recover(3);
+  EXPECT_TRUE(emu.views_converged());
+  // The recovered router still originates and forwards.
+  const auto r = emu.send_packet(3, emu.address_of(7));
+  EXPECT_EQ(r.outcome, ForwardOutcome::kDelivered);
+}
+
+TEST(Emulation, FrrCoversWindowBetweenFailureAndReconvergence) {
+  // Program routes on the healthy network, cut a fiber *without*
+  // letting headends reconverge (we bypass fail_fiber's NSU flood), and
+  // check that FRR still delivers the stale-routed packet.
+  auto topo = topo::make_abilene();
+  traffic::GravityParams gp;
+  auto tm = traffic::generate_gravity(topo, gp);
+  DsdnEmulation emu(topo, tm);
+  emu.bootstrap();
+
+  // Find the fiber carrying 0 -> 10 traffic (seattle -> newyork).
+  const auto before = emu.send_packet(0, emu.address_of(10));
+  ASSERT_EQ(before.outcome, ForwardOutcome::kDelivered);
+
+  // Kill the first hop of the installed path directly in ground truth.
+  auto& net = const_cast<topo::Topology&>(emu.network());
+  const topo::LinkId first_hop = net.find_link(before.trace[0], before.trace[1]);
+  ASSERT_NE(first_hop, topo::kInvalidLink);
+  net.set_duplex_up(first_hop, false);
+
+  const auto during = emu.send_packet(0, emu.address_of(10));
+  EXPECT_EQ(during.outcome, ForwardOutcome::kDelivered);
+  EXPECT_EQ(during.final_node, 10u);
+  EXPECT_GE(during.frr_activations, 1u);
+}
+
+TEST(Emulation, EcmpSpreadsEntropyAcrossRoutes) {
+  // On an overloaded network TE must split flows off the shortest path;
+  // distinct entropy values should then exercise distinct paths somewhere.
+  auto emu = make_emulation(topo::make_abilene(), /*util=*/1.4);
+  emu.bootstrap();
+  bool found_split = false;
+  const auto n = emu.network().num_nodes();
+  for (topo::NodeId s = 0; s < n && !found_split; ++s) {
+    for (topo::NodeId d = 0; d < n && !found_split; ++d) {
+      if (s == d) continue;
+      std::set<std::vector<topo::NodeId>> traces;
+      for (std::uint64_t e = 0; e < 64; ++e) {
+        const auto r = emu.send_packet(s, emu.address_of(d),
+                                       PriorityClass::kLow, e * 131);
+        if (r.outcome == ForwardOutcome::kDelivered) traces.insert(r.trace);
+      }
+      if (traces.size() > 1) found_split = true;
+    }
+  }
+  EXPECT_TRUE(found_split);
+}
+
+TEST(Emulation, MessageComplexityLinearInLinksPerOrigination) {
+  // Flooding delivers each NSU at most once per link: bootstrap of n
+  // routers sends O(n * links) messages, not more.
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  const auto& t = emu.network();
+  EXPECT_LE(emu.messages_delivered(), t.num_nodes() * t.num_links());
+}
+
+}  // namespace
+}  // namespace dsdn::sim
+
+namespace dsdn::sim {
+namespace {
+
+TEST(Emulation, ControllersProgramLocalBypasses) {
+  auto emu = make_emulation(topo::make_abilene());
+  emu.bootstrap();
+  // Every router with >= 2 up links should protect its links locally.
+  std::size_t protected_links = 0;
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    protected_links += emu.at(n).bypass.num_protected_links();
+  }
+  EXPECT_GT(protected_links, emu.network().num_links() / 2);
+}
+
+TEST(Emulation, PartialCapacityLossRebalancesTraffic) {
+  // One fat demand on a direct link; halving the link's capacity must
+  // push part of the demand onto an alternate path after reconvergence.
+  topo::Topology topo = topo::make_fig5();  // R0-R1 direct + via R2
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 80.0});
+  DsdnEmulation emu(topo, tm);
+  emu.bootstrap();
+
+  const topo::LinkId direct = emu.network().find_link(0, 1);
+  // Healthy: everything fits the 100G direct link.
+  std::set<std::vector<topo::NodeId>> healthy_paths;
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    healthy_paths.insert(
+        emu.send_packet(0, emu.address_of(1), PriorityClass::kHigh, e)
+            .trace);
+  }
+  EXPECT_EQ(healthy_paths.size(), 1u);
+
+  emu.degrade_fiber(direct, 50.0);
+  EXPECT_TRUE(emu.views_converged());
+  // Every controller's view reflects the degraded capacity.
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(emu.controller(n).state().view().link(direct)
+                         .capacity_gbps,
+                     50.0);
+  }
+  // The 80G demand no longer fits one 50G link: flows must now split.
+  std::set<std::vector<topo::NodeId>> degraded_paths;
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    const auto r =
+        emu.send_packet(0, emu.address_of(1), PriorityClass::kHigh, e * 31);
+    EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered);
+    degraded_paths.insert(r.trace);
+  }
+  EXPECT_GT(degraded_paths.size(), 1u);
+
+  // Restoration returns all traffic to the direct path.
+  emu.degrade_fiber(direct, 100.0);
+  std::set<std::vector<topo::NodeId>> restored_paths;
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    restored_paths.insert(
+        emu.send_packet(0, emu.address_of(1), PriorityClass::kHigh, e)
+            .trace);
+  }
+  EXPECT_EQ(restored_paths.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dsdn::sim

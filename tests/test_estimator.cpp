@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "sim/emulation.hpp"
+#include "topo/synthetic.hpp"
+#include "traffic/estimator.hpp"
+
+namespace dsdn::traffic {
+namespace {
+
+using metrics::PriorityClass;
+
+TEST(Estimator, ValidatesConstructionAndInput) {
+  EXPECT_THROW(DemandEstimator(0, {.alpha = 0.0}), std::invalid_argument);
+  EXPECT_THROW(DemandEstimator(0, {.alpha = 1.5}), std::invalid_argument);
+  DemandEstimator est(0);
+  EXPECT_THROW(est.observe(0, PriorityClass::kHigh, 1.0),
+               std::invalid_argument);  // egress == self
+  EXPECT_THROW(est.observe(1, PriorityClass::kHigh, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Estimator, ConvergesToSteadyRate) {
+  DemandEstimator est(0, {.alpha = 0.3});
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    est.observe(5, PriorityClass::kHigh, 10.0);
+    est.roll_epoch();
+  }
+  EXPECT_NEAR(est.estimate(5, PriorityClass::kHigh), 10.0, 0.01);
+}
+
+TEST(Estimator, SmoothsBursts) {
+  DemandEstimator est(0, {.alpha = 0.3});
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    est.observe(5, PriorityClass::kHigh, 10.0);
+    est.roll_epoch();
+  }
+  // One 10x burst epoch moves the estimate by only ~alpha of the jump.
+  est.observe(5, PriorityClass::kHigh, 100.0);
+  est.roll_epoch();
+  const double after = est.estimate(5, PriorityClass::kHigh);
+  EXPECT_GT(after, 10.0);
+  EXPECT_LT(after, 40.0);
+}
+
+TEST(Estimator, DecaysAndDropsIdleKeys) {
+  DemandEstimator est(0, {.alpha = 0.5, .floor_gbps = 0.01});
+  est.observe(5, PriorityClass::kLow, 4.0);
+  est.roll_epoch();
+  EXPECT_EQ(est.num_tracked(), 1u);
+  for (int epoch = 0; epoch < 12; ++epoch) est.roll_epoch();
+  EXPECT_EQ(est.num_tracked(), 0u);
+  EXPECT_DOUBLE_EQ(est.estimate(5, PriorityClass::kLow), 0.0);
+}
+
+TEST(Estimator, KeysAggregateByEgressAndClass) {
+  DemandEstimator est(0);
+  est.observe(5, PriorityClass::kHigh, 1.0);
+  est.observe(5, PriorityClass::kHigh, 2.0);  // same key, additive
+  est.observe(5, PriorityClass::kLow, 7.0);
+  est.observe(6, PriorityClass::kHigh, 3.0);
+  est.roll_epoch();
+  EXPECT_EQ(est.num_tracked(), 3u);
+  const auto adverts = est.advertised();
+  double total = 0;
+  for (const auto& a : adverts) total += a.rate_gbps;
+  EXPECT_NEAR(total, 0.3 * (3.0 + 7.0 + 3.0), 1e-9);
+}
+
+TEST(Estimator, DrivesControllerThroughTelemetry) {
+  // End to end: controller originates NSUs whose demand section comes
+  // from the estimator, and its TE programs routes for the estimated
+  // flows.
+  const auto topo = topo::make_ring(4);
+  const auto prefixes = topo::assign_router_prefixes(topo);
+  DemandEstimator est(0, {.alpha = 1.0});  // instant tracking for the test
+  EstimatingTelemetry telemetry(&topo, prefixes, &est);
+
+  core::ControllerConfig cc;
+  cc.self = 0;
+  core::Controller controller(cc, topo);
+
+  // Before any traffic: nothing to advertise, nothing programmed.
+  controller.originate(telemetry);
+  auto result = controller.recompute();
+  EXPECT_EQ(result.own_allocations, 0u);
+
+  // Traffic shows up in-band; the next NSU advertises it and TE places it.
+  est.observe(2, PriorityClass::kHigh, 5.0);
+  est.roll_epoch();
+  const auto directive = controller.originate(telemetry);
+  ASSERT_EQ(directive.nsu.demands.size(), 1u);
+  EXPECT_DOUBLE_EQ(directive.nsu.demands[0].rate_gbps, 5.0);
+  result = controller.recompute();
+  EXPECT_EQ(result.own_allocations, 1u);
+  EXPECT_GT(result.encap.routes_installed, 0u);
+}
+
+}  // namespace
+}  // namespace dsdn::traffic
+
+namespace dsdn::sim {
+namespace {
+
+using metrics::PriorityClass;
+
+TEST(InBandMeasurement, ClosedLoopTracksShiftingDemand) {
+  // The full loop: traffic is observed in-band, estimators feed NSUs,
+  // every headend re-solves, and routing follows the demand as it moves.
+  auto topo = topo::make_fig5();
+  traffic::TrafficMatrix unused;  // oracle matrix not consulted
+  DsdnEmulation wan(topo, unused);
+  wan.enable_in_band_measurement({.alpha = 1.0});
+  wan.bootstrap();
+
+  // Epoch 1: traffic 0 -> 1 appears.
+  traffic::TrafficMatrix epoch1;
+  epoch1.add({0, 1, PriorityClass::kHigh, 10.0});
+  wan.observe_traffic(epoch1);
+  wan.measurement_epoch();
+  EXPECT_TRUE(wan.views_converged());
+  const auto r1 = wan.send_packet(0, wan.address_of(1));
+  EXPECT_EQ(r1.outcome, dataplane::ForwardOutcome::kDelivered);
+
+  // Epoch 2: that flow dies; a new 2 -> 1 flow appears. The stale route
+  // ages out of the advertisements; the new one gets programmed.
+  traffic::TrafficMatrix epoch2;
+  epoch2.add({2, 1, PriorityClass::kLow, 5.0});
+  wan.observe_traffic(epoch2);
+  wan.measurement_epoch();
+  const auto r2 = wan.send_packet(2, wan.address_of(1), PriorityClass::kLow);
+  EXPECT_EQ(r2.outcome, dataplane::ForwardOutcome::kDelivered);
+  // 0 -> 1 high-priority routing disappeared with its demand (alpha = 1
+  // drops it after one silent epoch).
+  const auto r3 = wan.send_packet(0, wan.address_of(1));
+  EXPECT_EQ(r3.outcome, dataplane::ForwardOutcome::kDroppedNoIngressRoute);
+}
+
+TEST(InBandMeasurement, EstimatedDemandMatchesAdvertisedDemand) {
+  auto topo = topo::make_ring(4);
+  traffic::TrafficMatrix unused;
+  DsdnEmulation wan(topo, unused);
+  wan.enable_in_band_measurement({.alpha = 0.5});
+  wan.bootstrap();
+
+  traffic::TrafficMatrix offered;
+  offered.add({0, 2, PriorityClass::kHigh, 8.0});
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    wan.observe_traffic(offered);
+    wan.measurement_epoch();
+  }
+  // Every controller's global demand view converged on the estimate.
+  for (topo::NodeId n = 0; n < wan.network().num_nodes(); ++n) {
+    const auto tm = wan.controller(n).state().demands();
+    ASSERT_EQ(tm.size(), 1u) << "controller " << n;
+    EXPECT_NEAR(tm.demands()[0].rate_gbps, 8.0, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace dsdn::sim

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/frr.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+
+namespace dsdn::dataplane {
+namespace {
+
+TEST(WidestPath, MaximizesBottleneck) {
+  // Two routes a->d: short/narrow vs long/wide.
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  t.add_duplex(a, b, 1.0);   // narrow
+  t.add_duplex(b, d, 1.0);
+  t.add_duplex(a, c, 50.0);  // wide
+  t.add_duplex(c, d, 50.0);
+  std::vector<double> residual(t.num_links());
+  for (std::size_t l = 0; l < t.num_links(); ++l)
+    residual[l] = t.link(static_cast<topo::LinkId>(l)).capacity_gbps;
+  const auto p = widest_path(t, a, d, residual);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node_sequence(t).at(1), c);
+}
+
+TEST(WidestPath, DisconnectedReturnsNullopt) {
+  topo::Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  std::vector<double> residual;
+  EXPECT_FALSE(widest_path(t, 0, 1, residual).has_value());
+}
+
+TEST(BypassPlan, ShortestStrategyAvoidsProtectedFiber) {
+  const auto t = topo::make_ring(5);
+  const auto plan = BypassPlan::compute(t, BypassStrategy::kShortestPath);
+  for (const topo::Link& l : t.links()) {
+    const auto& cands = plan.candidates(l.id);
+    ASSERT_EQ(cands.size(), 1u) << "link " << l.id;
+    const te::Path& p = cands.front();
+    EXPECT_EQ(p.src(t), l.src);
+    EXPECT_EQ(p.dst(t), l.dst);
+    // The bypass must not use the protected fiber in either direction.
+    for (topo::LinkId bl : p.links) {
+      EXPECT_NE(bl, l.id);
+      EXPECT_NE(bl, l.reverse);
+    }
+  }
+}
+
+TEST(BypassPlan, CoversAllUpLinksOnRealTopology) {
+  const auto t = topo::make_geant();
+  const auto plan = BypassPlan::compute(t, BypassStrategy::kShortestPath);
+  std::size_t protectable = 0;
+  for (const topo::Link& l : t.links()) {
+    if (!plan.candidates(l.id).empty()) ++protectable;
+  }
+  // GEANT is 2-edge-connected except possibly a few spurs.
+  EXPECT_GT(protectable, t.num_links() * 3 / 4);
+}
+
+TEST(BypassPlan, CapacityAwarePrefersSparePath) {
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  const topo::LinkId protectee = t.add_duplex(a, d, 10.0);
+  t.add_duplex(a, b, 10.0);
+  t.add_duplex(b, d, 10.0);
+  t.add_duplex(a, c, 10.0);
+  t.add_duplex(c, d, 10.0);
+  // The b route is nearly full; c has spare capacity.
+  std::vector<double> residual(t.num_links(), 10.0);
+  residual[t.find_link(a, b)] = 0.5;
+  const auto shortest =
+      BypassPlan::compute(t, BypassStrategy::kShortestPath, residual);
+  const auto aware =
+      BypassPlan::compute(t, BypassStrategy::kCapacityAware, residual);
+  const auto aware_path =
+      aware.select(t, protectee, 1.0, 1, residual);
+  ASSERT_TRUE(aware_path.has_value());
+  EXPECT_EQ(aware_path->node_sequence(t).at(1), c);
+  // Shortest-path FRR is oblivious: it may pick either 2-hop route.
+  ASSERT_EQ(shortest.candidates(protectee).size(), 1u);
+}
+
+TEST(BypassPlan, KShortestAdmitsByCapacity) {
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  const topo::LinkId protectee = t.add_duplex(a, d, 10.0);
+  t.add_duplex(a, b, 10.0, /*igp=*/1.0);
+  t.add_duplex(b, d, 10.0, 1.0);
+  t.add_duplex(a, c, 10.0, 5.0);  // longer
+  t.add_duplex(c, d, 10.0, 5.0);
+  std::vector<double> residual(t.num_links(), 10.0);
+  const auto plan =
+      BypassPlan::compute(t, BypassStrategy::kKShortestPaths, residual, 4);
+  // Flow that fits the shortest candidate: take it.
+  auto small = plan.select(t, protectee, 2.0, 1, residual);
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->node_sequence(t).at(1), b);
+  // Flow too big for the b route once it's drained: falls to the widest.
+  residual[t.find_link(a, b)] = 0.1;
+  auto big = plan.select(t, protectee, 2.0, 1, residual);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->node_sequence(t).at(1), c);
+}
+
+TEST(BypassPlan, KCapacityAwareLoadBalances) {
+  const auto t = topo::make_full_mesh(5, 100.0);
+  std::vector<double> residual(t.num_links(), 100.0);
+  const auto plan =
+      BypassPlan::compute(t, BypassStrategy::kKCapacityAware, residual, 8);
+  const topo::LinkId protectee = t.find_link(0, 1);
+  ASSERT_GT(plan.candidates(protectee).size(), 1u);
+  // Different entropies spread across candidates.
+  std::set<std::vector<topo::LinkId>> picked;
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    const auto p = plan.select(t, protectee, 1.0, e, residual);
+    ASSERT_TRUE(p.has_value());
+    picked.insert(p->links);
+  }
+  EXPECT_GT(picked.size(), 1u);
+}
+
+TEST(BypassPlan, SelectReturnsNulloptWhenCandidatesDead) {
+  auto t = topo::make_ring(4);
+  const topo::LinkId protectee = t.find_link(0, 1);
+  const auto plan = BypassPlan::compute(t, BypassStrategy::kShortestPath);
+  ASSERT_FALSE(plan.candidates(protectee).empty());
+  // Kill a link on the (only) bypass: selection must fail, not loop.
+  t.set_duplex_up(t.find_link(3, 2), false);
+  EXPECT_FALSE(plan.select(t, protectee, 1.0, 1, {}).has_value());
+}
+
+TEST(BypassPlan, StrategyNamesDistinct) {
+  std::set<std::string> names;
+  for (auto s : {BypassStrategy::kShortestPath, BypassStrategy::kCapacityAware,
+                 BypassStrategy::kKShortestPaths,
+                 BypassStrategy::kKCapacityAware}) {
+    names.insert(bypass_strategy_name(s));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dsdn::dataplane

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "metrics/calibration.hpp"
+#include "metrics/distribution.hpp"
+#include "metrics/slo.hpp"
+
+namespace dsdn::metrics {
+namespace {
+
+TEST(Distribution, BasicStats) {
+  EmpiricalDistribution d({1, 2, 3, 4, 5});
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(Distribution, PercentileInterpolates) {
+  EmpiricalDistribution d({0, 10});
+  EXPECT_DOUBLE_EQ(d.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 10.0);
+  EXPECT_THROW(d.percentile(101), std::invalid_argument);
+}
+
+TEST(Distribution, EmptyThrows) {
+  EmpiricalDistribution d;
+  EXPECT_THROW(d.mean(), std::logic_error);
+  EXPECT_THROW(d.percentile(50), std::logic_error);
+}
+
+TEST(Distribution, CdfMonotone) {
+  EmpiricalDistribution d({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(10), 1.0);
+}
+
+TEST(Distribution, AddInvalidatesSortCache) {
+  EmpiricalDistribution d({5});
+  EXPECT_DOUBLE_EQ(d.median(), 5.0);
+  d.add(1);
+  EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(Distribution, ScaledMultipliesAllSamples) {
+  EmpiricalDistribution d({1, 2});
+  const auto s = d.scaled(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.5);  // original untouched
+}
+
+TEST(Distribution, SampleDrawsFromData) {
+  EmpiricalDistribution d({7, 7, 7});
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 7.0);
+}
+
+TEST(Slo, ThresholdsLoosenOneNinePerClass) {
+  EXPECT_DOUBLE_EQ(slo_loss_threshold(PriorityClass::kHigh), 1e-4);
+  EXPECT_DOUBLE_EQ(slo_loss_threshold(PriorityClass::kIntermediate), 1e-3);
+  EXPECT_DOUBLE_EQ(slo_loss_threshold(PriorityClass::kLow), 1e-2);
+}
+
+TEST(Slo, BadSecondsIntegratorMatchesPaperExample) {
+  // Paper example (§5.2): 100 groups over 10 s; 50 violate for 5 s, then
+  // 10 violate for another 5 s => 50/100*5 + 10/100*5 = 3 bad seconds.
+  BadSecondsIntegrator integ(0.0);
+  integ.advance(5.0, 0.5);
+  integ.advance(10.0, 0.1);
+  EXPECT_DOUBLE_EQ(integ.bad_seconds(), 3.0);
+}
+
+TEST(Slo, IntegratorRejectsBackwardTimeAndBadRadius) {
+  BadSecondsIntegrator integ(1.0);
+  EXPECT_THROW(integ.advance(0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(integ.advance(2.0, 1.5), std::invalid_argument);
+}
+
+TEST(Calibration, CsdnTpropMedianNearCalibratedValue) {
+  CsdnCalibration calib;
+  util::Rng rng(5);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 20000; ++i) d.add(sample_csdn_tprop(calib, rng));
+  EXPECT_NEAR(d.median(), calib.tprop_median_s, calib.tprop_median_s * 0.1);
+}
+
+TEST(Calibration, DsdnVsCsdnComponentOrdering) {
+  // The calibrated models must encode the paper's orderings: dSDN Tprog
+  // orders of magnitude below cSDN programming, dSDN Tcomp ~35% above.
+  CsdnCalibration cs;
+  DsdnCalibration ds;
+  EXPECT_LT(ds.tprog_median_s * 100, cs.transit_router_median_s * 10);
+  EXPECT_NEAR(ds.tcomp_median_s / cs.tcomp_median_s, 1.35, 0.01);
+}
+
+TEST(Calibration, ProgrammingModelHeterogeneousAcrossRouters) {
+  CsdnCalibration calib;
+  util::Rng rng(9);
+  ProgrammingLatencyModel model(calib, 50, rng);
+  // Collect per-router medians; Fig 19 reports ~10x spread across routers.
+  double lo = 1e18, hi = 0;
+  util::Rng sampler(10);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EmpiricalDistribution d;
+    for (int i = 0; i < 300; ++i) d.add(model.sample_transit(r, sampler));
+    lo = std::min(lo, d.median());
+    hi = std::max(hi, d.median());
+  }
+  EXPECT_GT(hi / lo, 5.0);
+}
+
+TEST(Calibration, ProgrammingModelTailStretch) {
+  // Per-router p99 should sit several x above the median (paper: 4x-11x).
+  CsdnCalibration calib;
+  util::Rng rng(9);
+  ProgrammingLatencyModel model(calib, 4, rng);
+  util::Rng sampler(12);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 20000; ++i) d.add(model.sample_transit(0, sampler));
+  EXPECT_GT(d.percentile(99) / d.median(), 3.0);
+}
+
+TEST(Calibration, ProgrammingModelValidatesIndices) {
+  CsdnCalibration calib;
+  util::Rng rng(9);
+  ProgrammingLatencyModel model(calib, 4, rng);
+  EXPECT_THROW(model.sample_transit(4, rng), std::out_of_range);
+  EXPECT_THROW(ProgrammingLatencyModel(calib, 0, rng), std::invalid_argument);
+}
+
+TEST(Calibration, RouterCpuRatioMatchesPaper) {
+  EXPECT_NEAR(kRouterCpuSpeedRatio, 1.9 / 2.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace dsdn::metrics
+
+namespace dsdn::metrics {
+namespace {
+
+TEST(Timeline, RenderScalesToMaxAndShowsPercent) {
+  std::vector<BlastSample> samples = {{0.0, 0.5}, {1.0, 0.25}, {2.0, 0.0}};
+  const auto text = render_timeline(samples, 8);
+  EXPECT_NE(text.find("50.00%"), std::string::npos);
+  EXPECT_NE(text.find("25.00%"), std::string::npos);
+  EXPECT_NE(text.find("0.00%"), std::string::npos);
+  // The largest sample gets the full bar width.
+  EXPECT_NE(text.find("########"), std::string::npos);
+}
+
+TEST(Timeline, EmptyAndAllZeroAreSafe) {
+  EXPECT_EQ(render_timeline({}), "");
+  const auto flat = render_timeline({{0.0, 0.0}});
+  EXPECT_NE(flat.find("0.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsdn::metrics

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "shard/sharded_wan.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+namespace dsdn::shard {
+namespace {
+
+using metrics::PriorityClass;
+
+TEST(Planes, SplitPreservesStructureAndStripesCapacity) {
+  const auto base = topo::make_geant();
+  const auto planes = make_planes(base, 4);
+  ASSERT_EQ(planes.size(), 4u);
+  for (const auto& plane : planes) {
+    EXPECT_EQ(plane.num_nodes(), base.num_nodes());
+    EXPECT_EQ(plane.num_links(), base.num_links());
+  }
+  // Capacity striping: plane links carry 1/k of the base fiber.
+  EXPECT_DOUBLE_EQ(planes[0].link(0).capacity_gbps,
+                   base.link(0).capacity_gbps / 4.0);
+  EXPECT_THROW(make_planes(base, 0), std::invalid_argument);
+}
+
+TEST(Planes, DemandSplitIsPartitionAndConsistentWithFlowHash) {
+  const auto base = topo::make_geant();
+  const auto tm = traffic::generate_gravity(base);
+  const auto split = split_demands(tm, 4);
+  std::size_t total = 0;
+  double volume = 0;
+  for (std::size_t p = 0; p < split.size(); ++p) {
+    total += split[p].size();
+    volume += split[p].total_rate_gbps();
+    for (const auto& d : split[p].demands()) {
+      EXPECT_EQ(plane_of_flow(d.src, d.dst, d.priority, 4), p);
+    }
+  }
+  EXPECT_EQ(total, tm.size());
+  EXPECT_NEAR(volume, tm.total_rate_gbps(), 1e-6);
+  // Hashing spreads flows across all planes (within a loose band).
+  for (const auto& plane_tm : split) {
+    EXPECT_GT(plane_tm.size(), tm.size() / 16);
+  }
+}
+
+class ShardedWanTest : public ::testing::Test {
+ protected:
+  ShardedWanTest() {
+    base_ = topo::make_geant();
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.4;
+    tm_ = traffic::generate_gravity(base_, gp).aggregated();
+    wan_ = std::make_unique<ShardedWan>(base_, tm_, 3);
+    wan_->bootstrap();
+  }
+
+  // Delivery rate over sampled demands of one plane.
+  double delivery_rate(std::size_t plane) {
+    const auto& demands = wan_->plane_demands(plane).demands();
+    if (demands.empty()) return 1.0;
+    std::size_t ok = 0;
+    for (const auto& d : demands) {
+      const auto r = wan_->send_packet(d.src, d.dst, d.priority);
+      if (r.outcome == dataplane::ForwardOutcome::kDelivered) ++ok;
+    }
+    return static_cast<double>(ok) / static_cast<double>(demands.size());
+  }
+
+  topo::Topology base_;
+  traffic::TrafficMatrix tm_;
+  std::unique_ptr<ShardedWan> wan_;
+};
+
+TEST_F(ShardedWanTest, AllPlanesBootAndDeliver) {
+  EXPECT_TRUE(wan_->all_planes_converged());
+  for (std::size_t p = 0; p < wan_->num_planes(); ++p) {
+    EXPECT_DOUBLE_EQ(delivery_rate(p), 1.0) << "plane " << p;
+  }
+}
+
+TEST_F(ShardedWanTest, FailureContainedToOnePlane) {
+  // Cut a fiber in plane 1 only. Planes 0 and 2 must be bit-identical
+  // undisturbed: no NSUs, no recomputation, no delivery impact.
+  const auto msgs0 = wan_->plane(0).messages_delivered();
+  const auto msgs2 = wan_->plane(2).messages_delivered();
+  const auto digest0 = wan_->plane(0).controller(0).state().digest();
+
+  const topo::LinkId fiber = wan_->plane(1).network().find_link(
+      5, wan_->plane(1).network().up_neighbors(5).front());
+  wan_->fail_fiber_in_plane(1, fiber);
+
+  EXPECT_TRUE(wan_->all_planes_converged());
+  EXPECT_EQ(wan_->plane(0).messages_delivered(), msgs0);
+  EXPECT_EQ(wan_->plane(2).messages_delivered(), msgs2);
+  EXPECT_EQ(wan_->plane(0).controller(0).state().digest(), digest0);
+  // All planes still deliver (plane 1 reconverged around the cut).
+  for (std::size_t p = 0; p < wan_->num_planes(); ++p) {
+    EXPECT_DOUBLE_EQ(delivery_rate(p), 1.0) << "plane " << p;
+  }
+  wan_->repair_fiber_in_plane(1, fiber);
+  EXPECT_TRUE(wan_->all_planes_converged());
+}
+
+TEST_F(ShardedWanTest, ControllerCrashContainedToOnePlane) {
+  const auto digest2 = wan_->plane(2).controller(0).state().digest();
+  wan_->plane(0).crash_and_recover(4);
+  EXPECT_TRUE(wan_->all_planes_converged());
+  EXPECT_EQ(wan_->plane(2).controller(0).state().digest(), digest2);
+}
+
+TEST_F(ShardedWanTest, PacketsRouteOnTheirDemandsPlane) {
+  // Every sampled flow must find its route on the plane its key hashes
+  // to -- the consistency contract between split_demands and send_packet.
+  for (std::size_t p = 0; p < wan_->num_planes(); ++p) {
+    for (const auto& d : wan_->plane_demands(p).demands()) {
+      EXPECT_EQ(plane_of_flow(d.src, d.dst, d.priority, wan_->num_planes()),
+                p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsdn::shard

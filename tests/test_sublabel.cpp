@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataplane/sublabel.hpp"
+#include "te/dijkstra.hpp"
+#include "topo/builder.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace dsdn::dataplane {
+namespace {
+
+// Builds the per-router sublabel FIBs for a whole topology.
+std::vector<SublabelFib> build_all_fibs(const topo::Topology& t,
+                                        const SublabelAssignment& a) {
+  std::vector<SublabelFib> fibs;
+  fibs.reserve(t.num_nodes());
+  for (topo::NodeId n = 0; n < t.num_nodes(); ++n) {
+    fibs.push_back(SublabelFib::build(t, n, a));
+  }
+  return fibs;
+}
+
+TEST(Sublabel, PackUnpackRoundTrip) {
+  const Label l = pack_sublabels(513, 7);
+  EXPECT_EQ(unpack_sublabels(l), (std::pair<Sublabel, Sublabel>{513, 7}));
+  EXPECT_THROW(pack_sublabels(1024, 0), std::invalid_argument);
+}
+
+TEST(Sublabel, AssignmentGivesEveryLinkANonNullSublabel) {
+  const auto t = topo::make_b4_like();
+  const auto a = assign_sublabels(t);
+  ASSERT_EQ(a.link_sublabel.size(), t.num_links());
+  for (Sublabel s : a.link_sublabel) {
+    EXPECT_NE(s, kNullSublabel);
+    EXPECT_LE(s, kMaxSublabel);
+  }
+}
+
+TEST(Sublabel, LocalUniquenessAtEveryNode) {
+  // Appendix A.2's requirement: at any node, the sublabels of its ingress
+  // and egress links are mutually unique.
+  const auto t = topo::make_cogentco();
+  const auto a = assign_sublabels(t);
+  for (const topo::Node& n : t.nodes()) {
+    std::set<Sublabel> seen;
+    for (topo::LinkId l : n.in_links) {
+      EXPECT_TRUE(seen.insert(a.link_sublabel[l]).second)
+          << "collision at node " << n.name;
+    }
+    for (topo::LinkId l : n.out_links) {
+      EXPECT_TRUE(seen.insert(a.link_sublabel[l]).second)
+          << "collision at node " << n.name;
+    }
+  }
+}
+
+TEST(Sublabel, SublabelCountWithinDegreeBound) {
+  // Greedy fiber coloring uses O(k) values: the paper derives 2k for an
+  // optimal coloring; greedy stays within 2*(2k-1).
+  const auto t = topo::make_b2_like();
+  const auto a = assign_sublabels(t);
+  const std::size_t k = t.max_degree();
+  EXPECT_LE(a.num_sublabels_used(), 2 * (2 * k - 1));
+  // And comfortably inside 10 bits even at B2 scale.
+  EXPECT_LE(a.num_sublabels_used(), static_cast<std::size_t>(kMaxSublabel));
+}
+
+TEST(Sublabel, TableSizeWithinTwoKSquared) {
+  // Appendix A: per-router table <= ~2k^2 entries, independent of network
+  // size.
+  const auto t = topo::make_b4_like();
+  const auto a = assign_sublabels(t);
+  for (topo::NodeId n = 0; n < t.num_nodes(); ++n) {
+    const auto fib = SublabelFib::build(t, n, a);
+    const std::size_t k = std::max(t.node(n).out_links.size(),
+                                   t.node(n).in_links.size());
+    std::size_t neighbor_degree_sum = 0;
+    for (topo::LinkId l : t.node(n).out_links) {
+      neighbor_degree_sum += t.node(t.link(l).dst).out_links.size();
+    }
+    // k(k-1) row-1 entries + row-2 entries + k + k null rows.
+    EXPECT_LE(fib.size(), k * k + k * neighbor_degree_sum + 2 * k);
+  }
+}
+
+TEST(Sublabel, TableBuildDetectsNoAmbiguity) {
+  // build() throws on ambiguous keys; it must succeed on every topology
+  // we ship.
+  for (const auto& entry : topo::zoo_catalog()) {
+    const auto t = entry.factory();
+    const auto a = assign_sublabels(t);
+    EXPECT_NO_THROW(build_all_fibs(t, a)) << entry.name;
+  }
+}
+
+TEST(Sublabel, EncodeHalvesLabelCount) {
+  const auto t = topo::make_line(9);
+  te::Path p;
+  for (std::size_t i = 0; i + 1 < 9; ++i)
+    p.links.push_back(t.find_link(static_cast<topo::NodeId>(i),
+                                  static_cast<topo::NodeId>(i + 1)));
+  const auto a = assign_sublabels(t);
+  const LabelStack s = encode_sublabel_route(p, a);
+  EXPECT_EQ(s.depth(), 4u);  // ceil(8/2)
+}
+
+TEST(Sublabel, ForwardsOddLengthPath) {
+  const auto t = topo::make_line(4);  // 3 hops: odd
+  const auto a = assign_sublabels(t);
+  const auto fibs = build_all_fibs(t, a);
+  te::Path p;
+  p.links = {t.find_link(0, 1), t.find_link(1, 2), t.find_link(2, 3)};
+  const auto r = forward_sublabel(t, fibs, 0, encode_sublabel_route(p, a));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, 3u);
+  EXPECT_EQ(r.trace, (std::vector<topo::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Sublabel, ForwardsEvenLengthPath) {
+  const auto t = topo::make_line(5);  // 4 hops: even
+  const auto a = assign_sublabels(t);
+  const auto fibs = build_all_fibs(t, a);
+  te::Path p;
+  for (std::size_t i = 0; i + 1 < 5; ++i)
+    p.links.push_back(t.find_link(static_cast<topo::NodeId>(i),
+                                  static_cast<topo::NodeId>(i + 1)));
+  const auto r = forward_sublabel(t, fibs, 0, encode_sublabel_route(p, a));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, 4u);
+}
+
+TEST(Sublabel, SingleHopPath) {
+  const auto t = topo::make_line(2);
+  const auto a = assign_sublabels(t);
+  const auto fibs = build_all_fibs(t, a);
+  te::Path p;
+  p.links = {t.find_link(0, 1)};
+  const auto r = forward_sublabel(t, fibs, 0, encode_sublabel_route(p, a));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, 1u);
+}
+
+TEST(Sublabel, LongPathBeyondTwelveLabelsWorks) {
+  // The whole point of sublabels: a 20-hop path fits in 10 labels.
+  const auto t = topo::make_line(21);
+  const auto a = assign_sublabels(t);
+  const auto fibs = build_all_fibs(t, a);
+  te::Path p;
+  for (std::size_t i = 0; i + 1 < 21; ++i)
+    p.links.push_back(t.find_link(static_cast<topo::NodeId>(i),
+                                  static_cast<topo::NodeId>(i + 1)));
+  ASSERT_GT(p.hops(), kMaxLabelDepth);
+  const LabelStack s = encode_sublabel_route(p, a);
+  EXPECT_LE(s.depth(), kMaxLabelDepth);
+  const auto r = forward_sublabel(t, fibs, 0, s);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, 20u);
+}
+
+class SublabelRandomPathTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SublabelRandomPathTest, RandomShortestPathsForwardCorrectly) {
+  // Property: on a real topology, any strict route encodes and forwards
+  // to exactly its intended egress through the sublabel data plane.
+  const auto t = topo::make_geant();
+  const auto a = assign_sublabels(t);
+  const auto fibs = build_all_fibs(t, a);
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto src = static_cast<topo::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(t.num_nodes()) - 1));
+    const auto dst = static_cast<topo::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(t.num_nodes()) - 1));
+    if (src == dst) continue;
+    const auto p = te::shortest_path(t, src, dst);
+    ASSERT_TRUE(p.has_value());
+    const auto r =
+        forward_sublabel(t, fibs, src, encode_sublabel_route(*p, a));
+    EXPECT_TRUE(r.delivered) << src << "->" << dst;
+    EXPECT_EQ(r.final_node, dst);
+    EXPECT_EQ(r.hops, p->hops());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SublabelRandomPathTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dsdn::dataplane

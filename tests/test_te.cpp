@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include "te/dijkstra.hpp"
+#include "te/ksp.hpp"
+#include "te/path_cache.hpp"
+#include "te/solver.hpp"
+#include "topo/builder.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+namespace dsdn::te {
+namespace {
+
+using metrics::PriorityClass;
+
+topo::Topology diamond() {
+  // a -> {b, c} -> d, with the b branch cheaper.
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  const auto d = t.add_node("d");
+  t.add_duplex(a, b, 10, 1.0);
+  t.add_duplex(b, d, 10, 1.0);
+  t.add_duplex(a, c, 10, 2.0);
+  t.add_duplex(c, d, 10, 2.0);
+  return t;
+}
+
+TEST(Dijkstra, FindsCheapestPath) {
+  const auto t = diamond();
+  const auto p = shortest_path(t, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node_sequence(t), (std::vector<topo::NodeId>{0, 1, 3}));
+  EXPECT_DOUBLE_EQ(p->igp_cost(t), 2.0);
+}
+
+TEST(Dijkstra, RespectsDownLinks) {
+  auto t = diamond();
+  t.set_duplex_up(t.find_link(0, 1), false);
+  const auto p = shortest_path(t, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node_sequence(t), (std::vector<topo::NodeId>{0, 2, 3}));
+}
+
+TEST(Dijkstra, ReturnsNulloptWhenDisconnected) {
+  auto t = diamond();
+  t.set_duplex_up(t.find_link(0, 1), false);
+  t.set_duplex_up(t.find_link(0, 2), false);
+  EXPECT_FALSE(shortest_path(t, 0, 3).has_value());
+}
+
+TEST(Dijkstra, CapacityConstraintDivertsPath) {
+  const auto t = diamond();
+  std::vector<double> residual(t.num_links(), 100.0);
+  residual[t.find_link(0, 1)] = 0.5;  // cheap branch has no room
+  SpConstraints c;
+  c.residual_gbps = &residual;
+  c.min_residual = 1.0;
+  const auto p = shortest_path(t, 0, 3, c);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node_sequence(t), (std::vector<topo::NodeId>{0, 2, 3}));
+}
+
+TEST(Dijkstra, LinkAllowedMaskExcludes) {
+  const auto t = diamond();
+  std::vector<char> allowed(t.num_links(), 1);
+  allowed[t.find_link(0, 1)] = 0;
+  SpConstraints c;
+  c.link_allowed = &allowed;
+  const auto p = shortest_path(t, 0, 3, c);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->node_sequence(t).at(1), 2u);
+}
+
+TEST(Dijkstra, RejectsSrcEqualsDst) {
+  const auto t = diamond();
+  EXPECT_THROW(shortest_path(t, 0, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, TreeMatchesPointQueries) {
+  const auto t = topo::make_abilene();
+  const auto tree = shortest_path_tree(t, 0);
+  for (topo::NodeId d = 1; d < t.num_nodes(); ++d) {
+    const auto p = shortest_path(t, 0, d);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_DOUBLE_EQ(tree[d].igp_cost(t), p->igp_cost(t)) << "dst " << d;
+  }
+}
+
+TEST(Dijkstra, MinLatencyDiffersFromMinCost) {
+  topo::Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  t.add_duplex(a, b, 10, /*igp=*/1.0, /*delay=*/0.050);  // cheap but slow
+  t.add_duplex(a, c, 10, 5.0, 0.001);
+  t.add_duplex(c, b, 10, 5.0, 0.001);
+  EXPECT_EQ(shortest_path(t, a, b)->hops(), 1u);
+  EXPECT_EQ(min_latency_path(t, a, b)->hops(), 2u);
+}
+
+TEST(PathValidity, DetectsLoopsAndBreaks) {
+  const auto t = diamond();
+  Path good;
+  good.links = {t.find_link(0, 1), t.find_link(1, 3)};
+  EXPECT_TRUE(good.is_valid(t));
+  Path broken;
+  broken.links = {t.find_link(0, 1), t.find_link(2, 3)};  // discontinuous
+  EXPECT_FALSE(broken.is_valid(t));
+  Path looped;
+  looped.links = {t.find_link(0, 1), t.find_link(1, 0)};  // returns to 0
+  EXPECT_FALSE(looped.is_valid(t));
+}
+
+TEST(Ksp, ReturnsOrderedLooplessPaths) {
+  const auto t = diamond();
+  const auto paths = k_shortest_paths(t, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 2u);  // only two loopless routes exist
+  EXPECT_LE(paths[0].igp_cost(t), paths[1].igp_cost(t));
+  for (const auto& p : paths) EXPECT_TRUE(p.is_valid(t));
+  EXPECT_NE(paths[0], paths[1]);
+}
+
+TEST(Ksp, RingHasExactlyTwoPaths) {
+  const auto t = topo::make_ring(6);
+  const auto paths = k_shortest_paths(t, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops() + paths[1].hops(), 6u);
+}
+
+TEST(Ksp, KZeroAndDisconnected) {
+  const auto t = diamond();
+  EXPECT_TRUE(k_shortest_paths(t, 0, 3, 0).empty());
+  auto broken = t;
+  broken.set_duplex_up(broken.find_link(0, 1), false);
+  broken.set_duplex_up(broken.find_link(0, 2), false);
+  EXPECT_TRUE(k_shortest_paths(broken, 0, 3, 4).empty());
+}
+
+TEST(Ksp, ProducesDistinctPathsOnRealTopology) {
+  const auto t = topo::make_geant();
+  const auto paths = k_shortest_paths(t, 0, 15, 8);
+  EXPECT_GE(paths.size(), 3u);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(paths[i].is_valid(t));
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i], paths[j]);
+    }
+    if (i > 0) {
+      EXPECT_GE(paths[i].igp_cost(t), paths[i - 1].igp_cost(t));
+    }
+  }
+}
+
+TEST(PathCache, HitsWhenFeasibleMissesWhenNot) {
+  const auto t = diamond();
+  PathCache cache(t);
+  std::vector<double> residual(t.num_links(), 100.0);
+  SpConstraints c;
+  c.residual_gbps = &residual;
+  c.min_residual = 1.0;
+
+  const auto p1 = cache.get(t, 0, 3, c);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  residual[t.find_link(0, 1)] = 0.0;  // cached path now infeasible
+  const auto p2 = cache.get(t, 0, 3, c);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(p2->node_sequence(t).at(1), 2u);
+}
+
+TEST(PathCache, SurvivesLinkLossAndRestoration) {
+  // The cache needs no rebuild across full loss and restoration (§5.3).
+  auto t = diamond();
+  PathCache cache(t);
+  SpConstraints c;
+  const topo::LinkId fiber = t.find_link(0, 1);
+  t.set_duplex_up(fiber, false);
+  const auto down = cache.get(t, 0, 3, c);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->node_sequence(t).at(1), 2u);
+  t.set_duplex_up(fiber, true);
+  cache.reset_counters();
+  const auto up = cache.get(t, 0, 3, c);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(up->node_sequence(t).at(1), 1u);
+}
+
+// ---- Solver ----
+
+traffic::TrafficMatrix single_demand(double rate) {
+  traffic::TrafficMatrix tm;
+  tm.add({0, 3, PriorityClass::kHigh, rate});
+  return tm;
+}
+
+TEST(Solver, SatisfiableDemandFullyAllocated) {
+  const auto t = diamond();
+  Solver solver;
+  const auto sol = solver.solve(t, single_demand(5.0));
+  ASSERT_EQ(sol.allocations.size(), 1u);
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 5.0, 1e-6);
+  ASSERT_FALSE(sol.allocations[0].paths.empty());
+  for (const auto& wp : sol.allocations[0].paths) {
+    EXPECT_TRUE(wp.path.is_valid(t));
+    EXPECT_EQ(wp.path.src(t), 0u);
+    EXPECT_EQ(wp.path.dst(t), 3u);
+  }
+}
+
+TEST(Solver, OverloadSplitsAcrossParallelPaths) {
+  const auto t = diamond();  // 10G per branch
+  Solver solver;
+  const auto sol = solver.solve(t, single_demand(15.0));
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 15.0, 1e-6);
+  EXPECT_GE(sol.allocations[0].paths.size(), 2u);
+  // No link oversubscribed.
+  for (double r : sol.residual_capacity(t)) EXPECT_GE(r, -1e-6);
+}
+
+TEST(Solver, CapsAtNetworkCapacity) {
+  const auto t = diamond();
+  Solver solver;
+  const auto sol = solver.solve(t, single_demand(50.0));
+  // Both branches total 20G.
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 20.0, 0.1);
+  for (double r : sol.residual_capacity(t)) EXPECT_GE(r, -1e-6);
+}
+
+TEST(Solver, MaxMinFairWithinClass) {
+  // Two equal-priority demands share one 10G bottleneck: ~5G each.
+  const auto t = topo::make_line(2, 10.0);
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 20.0});
+  tm.add({0, 1, PriorityClass::kHigh, 20.0});
+  Solver solver;
+  const auto sol = solver.solve(t, tm);
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 5.0, 0.8);
+  EXPECT_NEAR(sol.allocations[1].allocated_gbps, 5.0, 0.8);
+  EXPECT_NEAR(sol.total_allocated_gbps(), 10.0, 1e-6);
+}
+
+TEST(Solver, MaxMinSmallDemandSatisfiedFirst) {
+  // Max-min: a 1G demand is fully served; the elephant gets the rest.
+  const auto t = topo::make_line(2, 10.0);
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 1.0});
+  tm.add({0, 1, PriorityClass::kHigh, 100.0});
+  Solver solver;
+  const auto sol = solver.solve(t, tm);
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 1.0, 0.05);
+  EXPECT_NEAR(sol.allocations[1].allocated_gbps, 9.0, 0.05);
+}
+
+TEST(Solver, StrictPriorityAcrossClasses) {
+  // High-priority demand takes the bottleneck before low priority.
+  const auto t = topo::make_line(2, 10.0);
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kLow, 10.0});
+  tm.add({0, 1, PriorityClass::kHigh, 8.0});
+  Solver solver;
+  const auto sol = solver.solve(t, tm);
+  EXPECT_NEAR(sol.allocations[1].allocated_gbps, 8.0, 1e-6);
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 2.0, 0.05);
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  const auto t = topo::make_geant();
+  const auto tm = traffic::generate_gravity(t);
+  Solver solver;
+  const auto a = solver.solve(t, tm);
+  const auto b = solver.solve(t, tm);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_EQ(a.allocations[i].paths.size(), b.allocations[i].paths.size());
+    EXPECT_DOUBLE_EQ(a.allocations[i].allocated_gbps,
+                     b.allocations[i].allocated_gbps);
+    for (std::size_t p = 0; p < a.allocations[i].paths.size(); ++p) {
+      EXPECT_EQ(a.allocations[i].paths[p].path,
+                b.allocations[i].paths[p].path);
+      EXPECT_DOUBLE_EQ(a.allocations[i].paths[p].weight,
+                       b.allocations[i].paths[p].weight);
+    }
+  }
+}
+
+TEST(Solver, ParallelMatchesSerial) {
+  // The consensus-free property requires identical output regardless of
+  // thread count (path search is parallel, allocation serialized).
+  const auto t = topo::make_geant();
+  const auto tm = traffic::generate_gravity(t);
+  SolverOptions serial;
+  serial.num_threads = 1;
+  SolverOptions parallel;
+  parallel.num_threads = 4;
+  const auto a = Solver(serial).solve(t, tm);
+  const auto b = Solver(parallel).solve(t, tm);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.allocations[i].allocated_gbps,
+                     b.allocations[i].allocated_gbps);
+  }
+}
+
+TEST(Solver, CachedSolveRemainsFeasibleAndComplete) {
+  const auto t = topo::make_geant();
+  const auto tm = traffic::generate_gravity(t);
+  PathCache cache(t);
+  SolverOptions with_cache;
+  with_cache.cache = &cache;
+  const auto cached = Solver(with_cache).solve(t, tm);
+  const auto plain = Solver().solve(t, tm);
+  EXPECT_NEAR(cached.total_allocated_gbps(), plain.total_allocated_gbps(),
+              plain.total_allocated_gbps() * 0.02);
+  for (double r : cached.residual_capacity(t)) EXPECT_GE(r, -1e-6);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(Solver, WeightsSumToOnePerDemand) {
+  const auto t = topo::make_abilene();
+  const auto tm = traffic::generate_gravity(t);
+  const auto sol = Solver().solve(t, tm);
+  for (const auto& a : sol.allocations) {
+    if (a.allocated_gbps <= 0) continue;
+    double w = 0;
+    for (const auto& wp : a.paths) w += wp.weight;
+    EXPECT_NEAR(w, 1.0, 1e-6);
+  }
+}
+
+TEST(Solver, StatsPopulated) {
+  const auto t = topo::make_abilene();
+  const auto tm = traffic::generate_gravity(t);
+  SolveStats stats;
+  Solver().solve(t, tm, &stats);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.path_searches, 0u);
+  EXPECT_GT(stats.wall_time_s, 0.0);
+  EXPECT_GE(stats.wall_time_s,
+            stats.path_search_time_s);  // components within total
+}
+
+TEST(Solver, FixedQuantumWorkScalesWithDemand) {
+  // The Fig 14 mechanism: with a fixed progressive-filling quantum, more
+  // offered demand means more waterfill rounds and more path searches.
+  const auto t = topo::make_geant();
+  const auto tm = traffic::generate_gravity(t);
+  double max_rate = 0;
+  for (const auto& d : tm.demands()) max_rate = std::max(max_rate, d.rate_gbps);
+  SolverOptions opt;
+  opt.quantum_gbps = max_rate / 8.0;
+  SolveStats light, heavy;
+  Solver(opt).solve(t, tm.scaled(0.5), &light);
+  Solver(opt).solve(t, tm.scaled(2.0), &heavy);
+  EXPECT_GT(heavy.path_searches, light.path_searches);
+}
+
+TEST(Solver, DownLinkNeverCarriesTraffic) {
+  auto t = topo::make_abilene();
+  const auto fiber = t.find_link(0, 1);
+  t.set_duplex_up(fiber, false);
+  const auto tm = traffic::generate_gravity(topo::make_abilene());
+  const auto sol = Solver().solve(t, tm);
+  for (const auto& a : sol.allocations) {
+    for (const auto& wp : a.paths) {
+      for (topo::LinkId l : wp.path.links) {
+        EXPECT_TRUE(t.link(l).up);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsdn::te
+
+#include <atomic>
+#include <thread>
+
+#include "te/parallel_solver.hpp"
+
+namespace dsdn::te {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(101, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkersAndZero) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+  pool.parallel_for(0, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.n_threads(), 1u);
+  int sum = 0;
+  pool.parallel_for(5, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace dsdn::te

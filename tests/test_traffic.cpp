@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/flow_group.hpp"
+#include "traffic/gravity.hpp"
+#include "traffic/matrix.hpp"
+
+namespace dsdn::traffic {
+namespace {
+
+using metrics::PriorityClass;
+
+TEST(Matrix, AddValidatesInput) {
+  TrafficMatrix tm;
+  EXPECT_THROW(tm.add({0, 0, PriorityClass::kHigh, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(tm.add({0, 1, PriorityClass::kHigh, -1.0}),
+               std::invalid_argument);
+  tm.add({0, 1, PriorityClass::kHigh, 1.0});
+  EXPECT_EQ(tm.size(), 1u);
+}
+
+TEST(Matrix, ScaledMultipliesRates) {
+  TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 2.0});
+  tm.add({1, 0, PriorityClass::kLow, 3.0});
+  const auto scaled = tm.scaled(1.5);
+  EXPECT_DOUBLE_EQ(scaled.total_rate_gbps(), 7.5);
+  EXPECT_DOUBLE_EQ(tm.total_rate_gbps(), 5.0);
+  EXPECT_THROW(tm.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Matrix, FromFiltersBySource) {
+  TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 1.0});
+  tm.add({2, 1, PriorityClass::kHigh, 1.0});
+  tm.add({0, 2, PriorityClass::kLow, 1.0});
+  EXPECT_EQ(tm.from(0).size(), 2u);
+  EXPECT_EQ(tm.from(1).size(), 0u);
+}
+
+TEST(Matrix, AggregatedMergesDuplicateKeys) {
+  TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 1.0});
+  tm.add({0, 1, PriorityClass::kHigh, 2.5});
+  tm.add({0, 1, PriorityClass::kLow, 1.0});
+  const auto agg = tm.aggregated();
+  EXPECT_EQ(agg.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.total_rate_gbps(), 4.5);
+}
+
+TEST(Gravity, NormalizesToTargetUtilization) {
+  const auto topo = topo::make_abilene();
+  GravityParams params;
+  params.target_max_utilization = 0.5;
+  const auto tm = generate_gravity(topo, params);
+  EXPECT_GT(tm.size(), 0u);
+  EXPECT_NEAR(shortest_path_max_utilization(topo, tm), 0.5, 1e-9);
+}
+
+TEST(Gravity, EmitsAllConfiguredClasses) {
+  const auto topo = topo::make_abilene();
+  const auto tm = generate_gravity(topo);
+  bool seen[metrics::kNumPriorityClasses] = {};
+  for (const Demand& d : tm.demands()) seen[static_cast<int>(d.priority)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Gravity, PairFractionSparsifies) {
+  const auto topo = topo::make_geant();
+  GravityParams dense;
+  GravityParams sparse;
+  sparse.pair_fraction = 0.2;
+  const auto tm_dense = generate_gravity(topo, dense);
+  const auto tm_sparse = generate_gravity(topo, sparse);
+  EXPECT_LT(tm_sparse.size(), tm_dense.size() / 2);
+}
+
+TEST(Gravity, DeterministicUnderSeed) {
+  const auto topo = topo::make_abilene();
+  const auto a = generate_gravity(topo);
+  const auto b = generate_gravity(topo);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.demands()[i].rate_gbps, b.demands()[i].rate_gbps);
+  }
+}
+
+TEST(Gravity, SkipsIntraMetroPairs) {
+  // Two routers in one metro exchange no WAN traffic.
+  topo::Topology t;
+  const auto a = t.add_node("a1", "m1");
+  const auto b = t.add_node("a2", "m1");
+  const auto c = t.add_node("b1", "m2");
+  t.add_duplex(a, b, 100);
+  t.add_duplex(b, c, 100);
+  const auto tm = generate_gravity(t);
+  for (const Demand& d : tm.demands()) {
+    EXPECT_NE(t.node(d.src).metro, t.node(d.dst).metro);
+  }
+}
+
+TEST(FlowGroups, PartitionCoversEveryDemandOnce) {
+  const auto topo = topo::make_b4_like();
+  GravityParams params;
+  params.pair_fraction = 0.1;
+  const auto tm = generate_gravity(topo, params);
+  const auto groups = group_flows(topo, tm);
+  std::size_t covered = 0;
+  double volume = 0;
+  for (const auto& g : groups) {
+    covered += g.demand_indices.size();
+    volume += g.total_rate_gbps;
+  }
+  EXPECT_EQ(covered, tm.size());
+  EXPECT_NEAR(volume, tm.total_rate_gbps(), 1e-6);
+}
+
+TEST(FlowGroups, KeyedByClassAndMetroPair) {
+  const auto topo = topo::make_abilene();
+  const auto tm = generate_gravity(topo);
+  for (const auto& g : group_flows(topo, tm)) {
+    for (std::size_t idx : g.demand_indices) {
+      const Demand& d = tm.demands()[idx];
+      EXPECT_EQ(d.priority, g.key.priority);
+      EXPECT_EQ(topo.node(d.src).metro, g.key.src_metro);
+      EXPECT_EQ(topo.node(d.dst).metro, g.key.dst_metro);
+    }
+  }
+}
+
+TEST(FlowGroups, ClassFilterWorks) {
+  const auto topo = topo::make_abilene();
+  const auto tm = generate_gravity(topo);
+  const auto high =
+      group_flows_of_class(topo, tm, PriorityClass::kHigh);
+  EXPECT_GT(high.size(), 0u);
+  for (const auto& g : high) {
+    EXPECT_EQ(g.key.priority, PriorityClass::kHigh);
+  }
+}
+
+}  // namespace
+}  // namespace dsdn::traffic

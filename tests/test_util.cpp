@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace dsdn::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(7), parent2(7);
+  Rng c1 = parent1.split();
+  Rng c2 = parent2.split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c1.uniform_int(0, 1 << 30), c2.uniform_int(0, 1 << 30));
+  }
+  // Indexed splits with distinct indices differ.
+  Rng s0 = parent1.split(0);
+  Rng s1 = parent1.split(1);
+  EXPECT_NE(s0.uniform_int(0, 1 << 30), s1.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalMedianApproximatelyCorrect) {
+  Rng rng(13);
+  std::vector<double> v;
+  for (int i = 0; i < 20001; ++i) v.push_back(rng.lognormal_median(2.0, 0.8));
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], 2.0, 0.15);
+}
+
+TEST(Rng, ParetoLowerBoundHolds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_pick(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(Rng, WeightedPickRejectsAllZero) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_pick(w), std::invalid_argument);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(19);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Splitmix, KnownAvalanche) {
+  // Consecutive inputs produce wildly different outputs.
+  EXPECT_NE(splitmix64(1) >> 32, splitmix64(2) >> 32);
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(Format, DurationUnits) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5 us");
+  EXPECT_EQ(format_duration(0.0025), "2.50 ms");
+  EXPECT_EQ(format_duration(1.5), "1.50 s");
+}
+
+TEST(Format, PadHelpers) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("xyz", 2), "xyz");
+}
+
+TEST(Format, RenderTableAlignsAndValidates) {
+  const auto table = render_table({"a", "bb"}, {{"1", "2"}, {"33", "4"}});
+  EXPECT_NE(table.find("| a "), std::string::npos);
+  EXPECT_NE(table.find("| 33 | 4 "), std::string::npos);
+  EXPECT_THROW(render_table({"a"}, {{"1", "2"}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsdn::util
