@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_consensus.dir/bench_ablation_consensus.cpp.o"
+  "CMakeFiles/bench_ablation_consensus.dir/bench_ablation_consensus.cpp.o.d"
+  "bench_ablation_consensus"
+  "bench_ablation_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

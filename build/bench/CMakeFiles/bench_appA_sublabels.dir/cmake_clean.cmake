@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appA_sublabels.dir/bench_appA_sublabels.cpp.o"
+  "CMakeFiles/bench_appA_sublabels.dir/bench_appA_sublabels.cpp.o.d"
+  "bench_appA_sublabels"
+  "bench_appA_sublabels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appA_sublabels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_convergence_components.dir/bench_fig08_convergence_components.cpp.o"
+  "CMakeFiles/bench_fig08_convergence_components.dir/bench_fig08_convergence_components.cpp.o.d"
+  "bench_fig08_convergence_components"
+  "bench_fig08_convergence_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_convergence_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bad_seconds.dir/bench_fig10_bad_seconds.cpp.o"
+  "CMakeFiles/bench_fig10_bad_seconds.dir/bench_fig10_bad_seconds.cpp.o.d"
+  "bench_fig10_bad_seconds"
+  "bench_fig10_bad_seconds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bad_seconds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

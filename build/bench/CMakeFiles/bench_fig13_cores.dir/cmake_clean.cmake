@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cores.dir/bench_fig13_cores.cpp.o"
+  "CMakeFiles/bench_fig13_cores.dir/bench_fig13_cores.cpp.o.d"
+  "bench_fig13_cores"
+  "bench_fig13_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_frr.dir/bench_table2_frr.cpp.o"
+  "CMakeFiles/bench_table2_frr.dir/bench_table2_frr.cpp.o.d"
+  "bench_table2_frr"
+  "bench_table2_frr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_frr_strategies.dir/frr_strategies.cpp.o"
+  "CMakeFiles/example_frr_strategies.dir/frr_strategies.cpp.o.d"
+  "example_frr_strategies"
+  "example_frr_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_frr_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incremental_deployment.dir/incremental_deployment.cpp.o"
+  "CMakeFiles/example_incremental_deployment.dir/incremental_deployment.cpp.o.d"
+  "example_incremental_deployment"
+  "example_incremental_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incremental_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

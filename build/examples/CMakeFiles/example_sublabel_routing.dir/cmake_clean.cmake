@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sublabel_routing.dir/sublabel_routing.cpp.o"
+  "CMakeFiles/example_sublabel_routing.dir/sublabel_routing.cpp.o.d"
+  "example_sublabel_routing"
+  "example_sublabel_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sublabel_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_te_explorer.dir/te_explorer.cpp.o"
+  "CMakeFiles/example_te_explorer.dir/te_explorer.cpp.o.d"
+  "example_te_explorer"
+  "example_te_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_te_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

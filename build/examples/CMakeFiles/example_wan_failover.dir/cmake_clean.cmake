@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wan_failover.dir/wan_failover.cpp.o"
+  "CMakeFiles/example_wan_failover.dir/wan_failover.cpp.o.d"
+  "example_wan_failover"
+  "example_wan_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wan_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

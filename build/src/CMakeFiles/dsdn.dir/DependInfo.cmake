@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bus.cpp" "src/CMakeFiles/dsdn.dir/core/bus.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/bus.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/dsdn.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/introspection.cpp" "src/CMakeFiles/dsdn.dir/core/introspection.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/introspection.cpp.o.d"
+  "/root/repo/src/core/local_state.cpp" "src/CMakeFiles/dsdn.dir/core/local_state.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/local_state.cpp.o.d"
+  "/root/repo/src/core/nsu.cpp" "src/CMakeFiles/dsdn.dir/core/nsu.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/nsu.cpp.o.d"
+  "/root/repo/src/core/pathing.cpp" "src/CMakeFiles/dsdn.dir/core/pathing.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/pathing.cpp.o.d"
+  "/root/repo/src/core/programmer.cpp" "src/CMakeFiles/dsdn.dir/core/programmer.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/programmer.cpp.o.d"
+  "/root/repo/src/core/state_db.cpp" "src/CMakeFiles/dsdn.dir/core/state_db.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/state_db.cpp.o.d"
+  "/root/repo/src/core/upgrade.cpp" "src/CMakeFiles/dsdn.dir/core/upgrade.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/upgrade.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/CMakeFiles/dsdn.dir/core/wire.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/core/wire.cpp.o.d"
+  "/root/repo/src/csdn/controller.cpp" "src/CMakeFiles/dsdn.dir/csdn/controller.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/csdn/controller.cpp.o.d"
+  "/root/repo/src/csdn/cpn.cpp" "src/CMakeFiles/dsdn.dir/csdn/cpn.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/csdn/cpn.cpp.o.d"
+  "/root/repo/src/csdn/programming.cpp" "src/CMakeFiles/dsdn.dir/csdn/programming.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/csdn/programming.cpp.o.d"
+  "/root/repo/src/dataplane/fib.cpp" "src/CMakeFiles/dsdn.dir/dataplane/fib.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/dataplane/fib.cpp.o.d"
+  "/root/repo/src/dataplane/forwarder.cpp" "src/CMakeFiles/dsdn.dir/dataplane/forwarder.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/dataplane/forwarder.cpp.o.d"
+  "/root/repo/src/dataplane/frr.cpp" "src/CMakeFiles/dsdn.dir/dataplane/frr.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/dataplane/frr.cpp.o.d"
+  "/root/repo/src/dataplane/label.cpp" "src/CMakeFiles/dsdn.dir/dataplane/label.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/dataplane/label.cpp.o.d"
+  "/root/repo/src/dataplane/sublabel.cpp" "src/CMakeFiles/dsdn.dir/dataplane/sublabel.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/dataplane/sublabel.cpp.o.d"
+  "/root/repo/src/isis/per_hop.cpp" "src/CMakeFiles/dsdn.dir/isis/per_hop.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/isis/per_hop.cpp.o.d"
+  "/root/repo/src/metrics/calibration.cpp" "src/CMakeFiles/dsdn.dir/metrics/calibration.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/metrics/calibration.cpp.o.d"
+  "/root/repo/src/metrics/distribution.cpp" "src/CMakeFiles/dsdn.dir/metrics/distribution.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/metrics/distribution.cpp.o.d"
+  "/root/repo/src/metrics/slo.cpp" "src/CMakeFiles/dsdn.dir/metrics/slo.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/metrics/slo.cpp.o.d"
+  "/root/repo/src/rsvp/rsvp_te.cpp" "src/CMakeFiles/dsdn.dir/rsvp/rsvp_te.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/rsvp/rsvp_te.cpp.o.d"
+  "/root/repo/src/shard/sharded_wan.cpp" "src/CMakeFiles/dsdn.dir/shard/sharded_wan.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/shard/sharded_wan.cpp.o.d"
+  "/root/repo/src/sim/convergence.cpp" "src/CMakeFiles/dsdn.dir/sim/convergence.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/convergence.cpp.o.d"
+  "/root/repo/src/sim/emulation.cpp" "src/CMakeFiles/dsdn.dir/sim/emulation.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/emulation.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dsdn.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/CMakeFiles/dsdn.dir/sim/failure.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/failure.cpp.o.d"
+  "/root/repo/src/sim/flow_eval.cpp" "src/CMakeFiles/dsdn.dir/sim/flow_eval.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/flow_eval.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/dsdn.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/sim/transient.cpp.o.d"
+  "/root/repo/src/te/dijkstra.cpp" "src/CMakeFiles/dsdn.dir/te/dijkstra.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/te/dijkstra.cpp.o.d"
+  "/root/repo/src/te/ksp.cpp" "src/CMakeFiles/dsdn.dir/te/ksp.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/te/ksp.cpp.o.d"
+  "/root/repo/src/te/parallel_solver.cpp" "src/CMakeFiles/dsdn.dir/te/parallel_solver.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/te/parallel_solver.cpp.o.d"
+  "/root/repo/src/te/path_cache.cpp" "src/CMakeFiles/dsdn.dir/te/path_cache.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/te/path_cache.cpp.o.d"
+  "/root/repo/src/te/solver.cpp" "src/CMakeFiles/dsdn.dir/te/solver.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/te/solver.cpp.o.d"
+  "/root/repo/src/topo/builder.cpp" "src/CMakeFiles/dsdn.dir/topo/builder.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/topo/builder.cpp.o.d"
+  "/root/repo/src/topo/prefix.cpp" "src/CMakeFiles/dsdn.dir/topo/prefix.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/topo/prefix.cpp.o.d"
+  "/root/repo/src/topo/synthetic.cpp" "src/CMakeFiles/dsdn.dir/topo/synthetic.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/topo/synthetic.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/dsdn.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/zoo.cpp" "src/CMakeFiles/dsdn.dir/topo/zoo.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/topo/zoo.cpp.o.d"
+  "/root/repo/src/traffic/estimator.cpp" "src/CMakeFiles/dsdn.dir/traffic/estimator.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/traffic/estimator.cpp.o.d"
+  "/root/repo/src/traffic/flow_group.cpp" "src/CMakeFiles/dsdn.dir/traffic/flow_group.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/traffic/flow_group.cpp.o.d"
+  "/root/repo/src/traffic/gravity.cpp" "src/CMakeFiles/dsdn.dir/traffic/gravity.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/traffic/gravity.cpp.o.d"
+  "/root/repo/src/traffic/matrix.cpp" "src/CMakeFiles/dsdn.dir/traffic/matrix.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/traffic/matrix.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/dsdn.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dsdn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dsdn.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

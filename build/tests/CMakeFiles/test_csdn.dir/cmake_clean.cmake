@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csdn.dir/test_csdn.cpp.o"
+  "CMakeFiles/test_csdn.dir/test_csdn.cpp.o.d"
+  "test_csdn"
+  "test_csdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sublabel.dir/test_sublabel.cpp.o"
+  "CMakeFiles/test_sublabel.dir/test_sublabel.cpp.o.d"
+  "test_sublabel"
+  "test_sublabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sublabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

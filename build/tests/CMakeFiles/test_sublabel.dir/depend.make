@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sublabel.
+# This may be replaced when dependencies are built.

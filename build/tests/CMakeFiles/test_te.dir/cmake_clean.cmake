@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te.dir/test_te.cpp.o"
+  "CMakeFiles/test_te.dir/test_te.cpp.o.d"
+  "test_te"
+  "test_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

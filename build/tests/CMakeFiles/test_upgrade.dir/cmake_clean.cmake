@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upgrade.dir/test_upgrade.cpp.o"
+  "CMakeFiles/test_upgrade.dir/test_upgrade.cpp.o.d"
+  "test_upgrade"
+  "test_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo_sweep.dir/test_zoo_sweep.cpp.o"
+  "CMakeFiles/test_zoo_sweep.dir/test_zoo_sweep.cpp.o.d"
+  "test_zoo_sweep"
+  "test_zoo_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
