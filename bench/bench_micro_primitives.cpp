@@ -5,8 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/controller.hpp"
+#include "core/nsu.hpp"
 #include "dataplane/fib.hpp"
+#include "sim/event_queue.hpp"
+#include "te/parallel_solver.hpp"
 #include "dataplane/label.hpp"
 #include "dataplane/sublabel.hpp"
 #include "te/ksp.hpp"
@@ -85,6 +90,74 @@ void BM_PathCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathCacheHit);
+
+void BM_PathCacheRepairHit(benchmark::State& state) {
+  // Primary entry saturated; the memoized repair path serves the miss.
+  const auto& t = b4();
+  const te::PathCache cache(t);
+  std::vector<double> residual(t.num_links(), 50.0);
+  te::SpConstraints c;
+  c.residual_gbps = &residual;
+  c.min_residual = 1.0;
+  topo::NodeId dst = static_cast<topo::NodeId>(t.num_nodes() - 1);
+  const auto primary = cache.get(t, 0, dst, c);
+  for (topo::LinkId l : primary->links) residual[l] = 0.0;
+  benchmark::DoNotOptimize(cache.get(t, 0, dst, c));  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(t, 0, dst, c));
+  }
+}
+BENCHMARK(BM_PathCacheRepairHit);
+
+void BM_ParallelForSmallN(benchmark::State& state) {
+  // Per-call dispatch overhead of the persistent pool on a tiny index
+  // space -- the seed implementation paid a thread spawn+join here.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  te::ThreadPool pool(threads);
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(8, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ParallelForSmallN)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Schedule+run cycles with captured-state callbacks: the simulator's
+  // hot loop (step() must move entries out of the heap, not copy).
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::size_t fired = 0;
+    std::vector<double> payload(16, 1.0);
+    for (int i = 0; i < 256; ++i) {
+      q.schedule(static_cast<double>(i), [payload, &fired] {
+        fired += payload.size();
+      });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_ValidateNsu(benchmark::State& state) {
+  // Once per flooded NSU per router; must not allocate.
+  core::NodeStateUpdate nsu;
+  nsu.origin = 0;
+  for (topo::LinkId l = 0; l < 32; ++l) {
+    core::LinkAdvert a;
+    a.link = l;
+    a.peer = static_cast<topo::NodeId>(l + 1);
+    a.capacity_gbps = 100.0;
+    nsu.links.push_back(a);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::validate_nsu(nsu));
+  }
+}
+BENCHMARK(BM_ValidateNsu);
 
 void BM_LabelEncodeDecode(benchmark::State& state) {
   const auto t = topo::make_line(11);

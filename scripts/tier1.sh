@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency
+# suites (thread pool, event queue) again under ThreadSanitizer.
+#
+#   scripts/tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> tier-1: build + ctest (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "==> tier-1: TSan build (build-tsan/) -- test_parallel + test_sim"
+cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim
+(cd build-tsan && ctest --output-on-failure -R '^(test_parallel|test_sim)$')
+
+echo "==> tier-1: all green"

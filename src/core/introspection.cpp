@@ -50,6 +50,23 @@ std::string render_status(const ControllerStatus& s,
   return os.str();
 }
 
+std::string render_pool_stats(const te::ThreadPool::Stats& stats) {
+  std::ostringstream os;
+  os << "TE thread pool: " << stats.workers << " workers, "
+     << stats.parallel_calls << " parallel_for calls ("
+     << stats.inline_calls << " inline), " << stats.tasks_executed
+     << " tasks, imbalance " << util::format_double(stats.imbalance(), 2)
+     << "x\n";
+  for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+    const auto& ws = stats.per_worker[w];
+    os << "  worker " << util::pad_left(std::to_string(w), 2)
+       << (w + 1 == stats.per_worker.size() ? " (caller)" : "         ")
+       << " : " << ws.tasks << " tasks, "
+       << util::format_duration(ws.busy_s) << " busy\n";
+  }
+  return os.str();
+}
+
 std::string render_fleet_digest(
     const std::vector<ControllerStatus>& statuses) {
   std::ostringstream os;

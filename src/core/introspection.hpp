@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/controller.hpp"
+#include "te/parallel_solver.hpp"
 
 namespace dsdn::core {
 
@@ -36,5 +37,11 @@ std::string render_status(const ControllerStatus& status,
 // One-line per-router fleet summary for a set of controllers.
 std::string render_fleet_digest(
     const std::vector<ControllerStatus>& statuses);
+
+// Operator-readable rendering of the TE solver's thread-pool counters
+// ("show dsdn te workers"): per-worker tasks and busy time, call counts,
+// and the imbalance ratio. Benches use this to report scheduling
+// efficiency next to the Fig 13 curves.
+std::string render_pool_stats(const te::ThreadPool::Stats& stats);
 
 }  // namespace dsdn::core

@@ -1,6 +1,8 @@
 #include "core/nsu.hpp"
 
-#include <set>
+#include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace dsdn::core {
 
@@ -19,11 +21,45 @@ const char* nsu_validity_name(NsuValidity v) {
 
 NsuValidity validate_nsu(const NodeStateUpdate& nsu) {
   if (nsu.origin == topo::kInvalidNode) return NsuValidity::kBadOrigin;
-  std::set<topo::LinkId> seen;
-  for (const LinkAdvert& l : nsu.links) {
-    if (!seen.insert(l.link).second)
+  // Duplicate-link-advert detection without a per-NSU heap allocation:
+  // this runs once per flooded NSU per receiving router. A real NSU
+  // carries one advert per attached link -- a few dozen at WAN router
+  // degree -- so a quadratic scan over the inline array beats building a
+  // std::set; implausibly large advert lists fall back to one sorted
+  // vector. Both paths report the same error the old element-at-a-time
+  // loop did: the first (duplicate-before-capacity) violation in advert
+  // order.
+  const std::size_t n = nsu.links.size();
+  constexpr std::size_t kQuadraticLimit = 64;
+  if (n <= kQuadraticLimit) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const LinkAdvert& l = nsu.links[i];
+      for (std::size_t j = 0; j < i; ++j) {
+        if (nsu.links[j].link == l.link)
+          return NsuValidity::kDuplicateLinkAdvert;
+      }
+      if (l.capacity_gbps < 0) return NsuValidity::kNegativeCapacity;
+    }
+  } else {
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::size_t dup_at = kNone;      // index of a second occurrence
+    std::size_t neg_cap_at = kNone;  // index of a negative capacity
+    for (std::size_t i = 0; i < n && neg_cap_at == kNone; ++i) {
+      if (nsu.links[i].capacity_gbps < 0) neg_cap_at = i;
+    }
+    std::vector<std::pair<topo::LinkId, std::size_t>> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ids.emplace_back(nsu.links[i].link, i);
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t k = 1; k < n; ++k) {
+      if (ids[k].first == ids[k - 1].first)
+        dup_at = std::min(dup_at, ids[k].second);
+    }
+    // At equal indices the duplicate check fires first (matching the
+    // original scan order).
+    if (dup_at <= neg_cap_at && dup_at != kNone)
       return NsuValidity::kDuplicateLinkAdvert;
-    if (l.capacity_gbps < 0) return NsuValidity::kNegativeCapacity;
+    if (neg_cap_at != kNone) return NsuValidity::kNegativeCapacity;
   }
   for (const DemandAdvert& d : nsu.demands) {
     if (d.rate_gbps < 0) return NsuValidity::kNegativeDemand;

@@ -1,7 +1,9 @@
 #include "shard/sharded_wan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "te/parallel_solver.hpp"
 #include "util/rng.hpp"
 
 namespace dsdn::shard {
@@ -60,8 +62,10 @@ ShardedWan::ShardedWan(const topo::Topology& base,
   }
 }
 
-void ShardedWan::bootstrap() {
-  for (auto& plane : planes_) plane->bootstrap();
+void ShardedWan::bootstrap(std::size_t n_threads) {
+  te::ThreadPool pool(std::min(n_threads, planes_.size()));
+  pool.parallel_for(planes_.size(),
+                    [&](std::size_t p) { planes_[p]->bootstrap(); });
 }
 
 void ShardedWan::fail_fiber_in_plane(std::size_t k, topo::LinkId fiber) {

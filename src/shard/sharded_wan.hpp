@@ -47,8 +47,10 @@ class ShardedWan {
     return *planes_.at(k);
   }
 
-  // Boots every plane's controllers.
-  void bootstrap();
+  // Boots every plane's controllers. Planes are fully independent dSDN
+  // instances (no shared state), so with n_threads > 1 their bootstraps
+  // run concurrently on a te::ThreadPool; 1 (the default) runs inline.
+  void bootstrap(std::size_t n_threads = 1);
 
   // Fails the plane-local fiber in plane `k` only (the other planes'
   // parallel fibers stay up).

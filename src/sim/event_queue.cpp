@@ -16,8 +16,14 @@ void EventQueue::schedule_in(double delay, Callback cb) {
 
 bool EventQueue::step() {
   if (queue_.empty()) return false;
-  // Copy out before pop: the callback may schedule more events.
-  Entry e = queue_.top();
+  // Invariant: pop must precede invoke -- the callback may schedule new
+  // events, which reshuffles the heap under us if the entry were still in
+  // it. Move (not copy) the entry out first: top() is const-qualified
+  // only because mutating the *ordering key* would break the heap, and
+  // pop() compares solely on the scalar (when, seq) fields, which a move
+  // leaves intact -- so stealing the std::function is safe and saves a
+  // captured-state allocation on every event of the hot loop.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   now_ = e.when;
   e.cb();

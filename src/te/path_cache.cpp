@@ -1,9 +1,32 @@
 #include "te/path_cache.hpp"
 
+#include <mutex>
+
 namespace dsdn::te {
 
-PathCache::PathCache(const topo::Topology& topo) : n_(topo.num_nodes()) {
-  paths_.resize(n_ * n_);
+namespace {
+
+bool path_feasible(const Path& path, const topo::Topology& topo,
+                   const SpConstraints& c) {
+  if (path.empty()) return false;
+  for (topo::LinkId lid : path.links) {
+    const topo::Link& l = topo.link(lid);
+    if (c.require_up && !l.up) return false;
+    if (c.link_allowed && !(*c.link_allowed)[lid]) return false;
+    if (c.residual_gbps && (*c.residual_gbps)[lid] < c.min_residual)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PathCache::PathCache(const topo::Topology& topo) { rebuild(topo); }
+
+void PathCache::rebuild(const topo::Topology& topo) {
+  n_ = topo.num_nodes();
+  paths_.assign(n_ * n_, Path{});
+  repair_.assign(n_ * n_, Path{});
   SpConstraints ignore_state;
   ignore_state.require_up = false;  // capacity- and state-oblivious
   for (topo::NodeId s = 0; s < n_; ++s) {
@@ -15,38 +38,46 @@ PathCache::PathCache(const topo::Topology& topo) : n_(topo.num_nodes()) {
   }
 }
 
+void PathCache::invalidate(const topo::Topology& topo) {
+  std::unique_lock<std::shared_mutex> lock(repair_mu_);
+  rebuild(topo);
+  ++epoch_;
+}
+
 std::optional<Path> PathCache::get(const topo::Topology& topo,
                                    topo::NodeId src, topo::NodeId dst,
                                    const SpConstraints& c) const {
-  const Path& cached = paths_[index(src, dst)];
-  if (!cached.empty()) {
-    bool feasible = true;
-    for (topo::LinkId lid : cached.links) {
-      const topo::Link& l = topo.link(lid);
-      if (c.require_up && !l.up) {
-        feasible = false;
-        break;
-      }
-      if (c.link_allowed && !(*c.link_allowed)[lid]) {
-        feasible = false;
-        break;
-      }
-      if (c.residual_gbps && (*c.residual_gbps)[lid] < c.min_residual) {
-        feasible = false;
-        break;
-      }
-    }
-    if (feasible) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return cached;
+  const std::size_t idx = index(src, dst);
+  if (path_feasible(paths_[idx], topo, c)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return paths_[idx];
+  }
+  // The primary entry is saturated (or down). Try the repair path
+  // memoized by an earlier miss for this pair before paying for another
+  // Dijkstra; it is subject to the same feasibility check, so a stale
+  // repair entry can cost a recompute but never an infeasible answer.
+  {
+    std::shared_lock<std::shared_mutex> lock(repair_mu_);
+    const Path& memo = repair_[idx];
+    if (path_feasible(memo, topo, c)) {
+      Path copy = memo;
+      lock.unlock();
+      repair_hits_.fetch_add(1, std::memory_order_relaxed);
+      return copy;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return shortest_path(topo, src, dst, c);
+  std::optional<Path> found = shortest_path(topo, src, dst, c);
+  if (found) {
+    std::unique_lock<std::shared_mutex> lock(repair_mu_);
+    repair_[idx] = *found;
+  }
+  return found;
 }
 
 void PathCache::reset_counters() {
   hits_.store(0, std::memory_order_relaxed);
+  repair_hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
 

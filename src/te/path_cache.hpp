@@ -9,10 +9,26 @@
 // capacity on every hop, and only falls back to a constrained Dijkstra
 // when it does not. The cache stays valid across any capacity change --
 // including full loss and restoration of a link -- and only needs
-// rebuilding when a *new link* is added (a network upgrade event).
+// rebuilding when link *metrics* change or a new link is added (a network
+// upgrade event): call invalidate() then.
+//
+// Miss memoization: the constrained fallback result is remembered per
+// (src, dst). On the next miss for the same pair -- the common case, since
+// a saturated shortest path stays saturated across waterfill rounds --
+// the remembered repair path is revalidated against the current
+// constraints and returned when still feasible, instead of rerunning
+// Dijkstra. Like the primary entries, repair entries are never trusted
+// blindly: every returned path passed the feasibility check against the
+// caller's constraints, so memoization never changes feasibility.
+// invalidate() starts a new epoch, discarding all repair entries.
+//
+// Thread safety: get() is called concurrently from the solver's
+// path-search workers; primary entries are immutable between rebuilds,
+// repair entries are guarded by a shared_mutex, counters are atomics.
 
 #include <atomic>
 #include <optional>
+#include <shared_mutex>
 
 #include "te/dijkstra.hpp"
 
@@ -25,13 +41,27 @@ class PathCache {
   explicit PathCache(const topo::Topology& topo);
 
   // Returns the cached shortest path if it satisfies the constraints
-  // (links up, residual >= min_residual on every hop); otherwise runs a
-  // constrained Dijkstra. nullopt when no feasible path exists at all.
+  // (links up, residual >= min_residual on every hop); otherwise the
+  // memoized repair path for the pair if that is feasible; otherwise runs
+  // a constrained Dijkstra and memoizes it. nullopt when no feasible path
+  // exists at all.
   std::optional<Path> get(const topo::Topology& topo, topo::NodeId src,
                           topo::NodeId dst, const SpConstraints& c) const;
 
-  // Hit counters, for the Fig 15 report.
+  // Rebuilds the primary all-pairs entries against the (possibly
+  // metric-changed or link-grown) topology and drops every memoized
+  // repair entry. Must not race with concurrent get() calls.
+  void invalidate(const topo::Topology& topo);
+
+  // Number of invalidate() calls; repair entries never outlive an epoch.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // Hit counters, for the Fig 15 report. A get() resolves to exactly one
+  // of: primary hit, repair hit (memoized miss), or miss (full Dijkstra).
   std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t repair_hits() const {
+    return repair_hits_.load(std::memory_order_relaxed);
+  }
   std::size_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
@@ -41,10 +71,19 @@ class PathCache {
   std::size_t index(topo::NodeId src, topo::NodeId dst) const {
     return static_cast<std::size_t>(src) * n_ + dst;
   }
+  void rebuild(const topo::Topology& topo);
 
   std::size_t n_;
   std::vector<Path> paths_;  // row-major (src, dst); empty = disconnected
+  std::uint64_t epoch_ = 0;
+
+  // Memoized constrained-fallback paths; empty = nothing memoized (or
+  // the last fallback found no path, which is never memoized).
+  mutable std::shared_mutex repair_mu_;
+  mutable std::vector<Path> repair_;
+
   mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> repair_hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
 };
 

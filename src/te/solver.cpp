@@ -53,7 +53,10 @@ Solution Solver::solve(const topo::Topology& topo,
     }
   }
 
-  ThreadPool pool(options_.num_threads);
+  // The pool's workers start once -- here when solver-owned, or at the
+  // caller's pool construction when shared across solves.
+  ThreadPool local_pool(options_.pool ? 1 : options_.num_threads);
+  const ThreadPool& pool = options_.pool ? *options_.pool : local_pool;
 
   // Accumulates (path -> rate) per allocation; converted to weights at
   // the end.
@@ -163,6 +166,11 @@ Solution Solver::solve(const topo::Topology& topo,
       a.paths.push_back(std::move(wp));
     }
   }
+
+  const ThreadPool::Stats pool_stats = pool.stats();
+  local_stats.pool_parallel_calls = pool_stats.parallel_calls;
+  local_stats.pool_tasks = pool_stats.tasks_executed;
+  local_stats.pool_imbalance = pool_stats.imbalance();
 
   local_stats.wall_time_s = seconds_since(t_start);
   if (stats) *stats = local_stats;

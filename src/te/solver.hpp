@@ -32,9 +32,15 @@
 
 namespace dsdn::te {
 
+class ThreadPool;
+
 struct SolverOptions {
   // Threads for the path-search step. 1 = fully serial.
   std::size_t num_threads = 1;
+  // Optional externally owned thread pool, reused across solves so the
+  // workers are spawned exactly once per process instead of once per
+  // solve. When set it takes precedence over num_threads. May be null.
+  ThreadPool* pool = nullptr;
   // Optional shortest-path cache (Fig 15 optimization). May be null.
   const PathCache* cache = nullptr;
   // Waterfill quantum: each round grants up to max_remaining/quantum_divisor
@@ -59,6 +65,12 @@ struct SolveStats {
   double allocation_time_s = 0.0;   // serialized portion
   std::size_t rounds = 0;
   std::size_t path_searches = 0;
+  // Thread-pool scheduling counters, snapshotted at solve end (for a
+  // solver-owned pool these cover exactly this solve; for an external
+  // SolverOptions::pool they are the pool's lifetime totals).
+  std::size_t pool_parallel_calls = 0;
+  std::size_t pool_tasks = 0;
+  double pool_imbalance = 1.0;  // max/mean per-worker busy time
 };
 
 class Solver {
