@@ -1,0 +1,138 @@
+// Regenerates the checked-in wire-codec fuzz corpus (tests/corpus/wire).
+// Run from anywhere: gen_corpus <output_dir>. Seeds cover every section
+// type, the forward-compat paths (unknown section, section trailer), and
+// historically interesting malformations (truncation, bad counts,
+// oversized length fields).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/upgrade.hpp"
+#include "core/wire.hpp"
+
+using namespace dsdn;
+
+namespace {
+
+void write(const std::filesystem::path& dir, const std::string& name,
+           const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %-28s %zu bytes\n", name.c_str(), bytes.size());
+}
+
+void push_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void push_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  push_u16(b, static_cast<std::uint16_t>(v));
+  push_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+
+core::NodeStateUpdate full_nsu() {
+  core::NodeStateUpdate nsu;
+  nsu.origin = 7;
+  nsu.seq = 4242;
+  nsu.links.push_back({1, 2, true, 400.0, 1.5, 0.004, 3});
+  nsu.links.push_back({2, 3, false, 100.0, 2.0, 0.009, 0});
+  nsu.links.push_back({9, 5, true, 800.0, 1.0, 0.001, 12});
+  nsu.prefixes.push_back({topo::parse_ipv4("10.1.7.0"), 24});
+  nsu.prefixes.push_back({topo::parse_ipv4("10.2.0.0"), 16});
+  nsu.demands.push_back({2, metrics::PriorityClass::kHigh, 12.5});
+  nsu.demands.push_back({3, metrics::PriorityClass::kLow, 0.25});
+  nsu.tlvs.push_back(
+      core::make_algorithm_tlv(core::PathingAlgorithm::kShortestPath));
+  nsu.tlvs.push_back({0xFEED, "future-extension-bytes"});
+  return nsu;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output_dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  std::filesystem::create_directories(dir);
+  std::printf("writing corpus to %s\n", dir.string().c_str());
+
+  write(dir, "full.bin", core::serialize_nsu(full_nsu()));
+
+  core::NodeStateUpdate minimal;
+  minimal.origin = 1;
+  minimal.seq = 1;
+  write(dir, "minimal.bin", core::serialize_nsu(minimal));
+
+  core::NodeStateUpdate links_only;
+  links_only.origin = 3;
+  links_only.seq = 9;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    links_only.links.push_back(
+        {i, i + 1, (i % 3) != 0, 100.0 * i, 1.0, 0.001 * i,
+         static_cast<std::uint16_t>(i)});
+  }
+  write(dir, "links_only.bin", core::serialize_nsu(links_only));
+
+  // Unknown section appended (forward compat skip path).
+  {
+    auto bytes = core::serialize_nsu(full_nsu());
+    push_u16(bytes, 0x7777);
+    push_u32(bytes, 5);
+    bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF, 0x01});
+    write(dir, "unknown_section.bin", bytes);
+  }
+
+  // Known section with a newer-version trailer (skip-forward path).
+  {
+    std::vector<std::uint8_t> bytes;
+    push_u32(bytes, core::kWireMagic);
+    push_u16(bytes, core::kWireVersion);
+    push_u32(bytes, 11);  // origin
+    push_u32(bytes, 5);   // seq lo
+    push_u32(bytes, 0);   // seq hi
+    push_u16(bytes, core::kSectionPrefixes);
+    push_u32(bytes, 4 + 5 + 3);  // count + one prefix + 3 trailer bytes
+    push_u32(bytes, 1);
+    push_u32(bytes, topo::parse_ipv4("10.9.0.0"));
+    bytes.push_back(16);
+    bytes.insert(bytes.end(), {0xAA, 0xBB, 0xCC});
+    write(dir, "section_trailer.bin", bytes);
+  }
+
+  // Truncated mid-record (must yield DecodeError, never UB).
+  {
+    auto bytes = core::serialize_nsu(full_nsu());
+    bytes.resize(bytes.size() / 2);
+    write(dir, "truncated.bin", bytes);
+  }
+
+  // Count field inflated past the section window.
+  {
+    auto bytes = core::serialize_nsu(links_only);
+    // Count sits right after magic+version+origin+seq+type+length = 24.
+    bytes[24] = 0xFF;
+    bytes[25] = 0xFF;
+    write(dir, "bad_count.bin", bytes);
+  }
+
+  // Section length field inflated past the buffer.
+  {
+    auto bytes = core::serialize_nsu(minimal);
+    bytes[20] = 0xFF;
+    bytes[21] = 0xFF;
+    write(dir, "bad_section_length.bin", bytes);
+  }
+
+  write(dir, "empty.bin", {});
+  write(dir, "garbage.bin",
+        {0x4E, 0x44, 0x53, 0x44, 0x01, 0x00, 0x6B, 0x6B, 0x6B, 0x6B, 0x6B,
+         0x6B, 0x6B, 0x6B, 0x6B, 0x6B, 0x6B, 0x6B, 0x6B});
+  return 0;
+}

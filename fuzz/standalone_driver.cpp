@@ -1,0 +1,143 @@
+// Deterministic corpus driver for fuzz targets when libFuzzer is
+// unavailable (GCC builds). Mimics the libFuzzer CLI shape used by
+// scripts/tier1.sh:
+//
+//   fuzz_wire [-max_total_time=SECONDS] [-runs=N] corpus_dir_or_file...
+//
+// Passes every corpus input to LLVMFuzzerTestOneInput, then spends the
+// remaining budget on seeded deterministic mutations of the corpus
+// (byte flips, truncations, splices, length-field tweaks). Exit 0 iff
+// no property aborted the process.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void run_one(const std::vector<std::uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 dsdn::util::Rng& rng) {
+  auto out = base;
+  switch (rng.uniform_int(0, 4)) {
+    case 0:  // byte flips
+      for (int f = 0, n = 1 + static_cast<int>(rng.uniform_int(0, 7));
+           f < n && !out.empty(); ++f) {
+        out[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(out.size()) - 1))] =
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+      break;
+    case 1:  // truncate
+      if (!out.empty()) {
+        out.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1)));
+      }
+      break;
+    case 2:  // append garbage
+      for (int i = 0, n = 1 + static_cast<int>(rng.uniform_int(0, 31));
+           i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+      break;
+    case 3:  // stomp a 4-byte window (hits length/count fields)
+      if (out.size() >= 4) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 4));
+        for (int i = 0; i < 4; ++i)
+          out[at + i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+      break;
+    default:  // splice with itself
+      if (!out.empty()) {
+        const auto cut = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+        out.insert(out.end(), base.begin(),
+                   base.begin() + static_cast<std::ptrdiff_t>(base.size() -
+                                                              cut));
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_seconds = 30.0;
+  long long max_runs = -1;
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::atof(arg.c_str() + std::strlen("-max_total_time="));
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::atoll(arg.c_str() + std::strlen("-runs="));
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ignoring unknown flag %s\n", arg.c_str());
+    } else if (fs::is_directory(arg)) {
+      std::vector<fs::path> files;
+      for (const auto& e : fs::directory_iterator(arg)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (fs::is_regular_file(arg)) {
+      corpus.push_back(read_file(arg));
+    } else {
+      std::fprintf(stderr, "no such corpus path: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "usage: %s [-max_total_time=S] [-runs=N] corpus...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Pass 1: every corpus input verbatim.
+  for (const auto& bytes : corpus) run_one(bytes);
+  std::printf("corpus pass: %zu inputs ok\n", corpus.size());
+
+  // Pass 2: seeded deterministic mutations until the time/run budget.
+  dsdn::util::Rng rng(0xD5DF22ULL ^ corpus.size());
+  const auto start = std::chrono::steady_clock::now();
+  long long runs = 0;
+  while (true) {
+    if (max_runs >= 0 && runs >= max_runs) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (max_runs < 0 && elapsed >= max_seconds) break;
+    const auto& base = corpus[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    run_one(mutate(base, rng));
+    ++runs;
+  }
+  std::printf("mutation pass: %lld runs ok\n", runs);
+  return 0;
+}

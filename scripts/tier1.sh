@@ -18,4 +18,10 @@ cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim
 (cd build-tsan && ctest --output-on-failure -R '^(test_parallel|test_sim)$')
 
+echo "==> tier-1: ASan build (build-asan/) -- wire fuzz corpus + fault injection"
+cmake -B build-asan -S . -DDSDN_SANITIZE=address -DDSDN_FUZZ=ON >/dev/null
+cmake --build build-asan -j "${JOBS}" --target fuzz_wire test_wire test_fault_injection
+./build-asan/fuzz/fuzz_wire -max_total_time=30 tests/corpus/wire
+(cd build-asan && ctest --output-on-failure -R '^(test_wire|test_fault_injection)$')
+
 echo "==> tier-1: all green"

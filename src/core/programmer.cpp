@@ -1,5 +1,7 @@
 #include "core/programmer.hpp"
 
+#include <cmath>
+
 #include "dataplane/label.hpp"
 
 namespace dsdn::core {
@@ -20,13 +22,44 @@ void Programmer::program_prefixes(const StateDb& state,
 Programmer::EncapReport Programmer::program_encap(
     const std::vector<te::Allocation>& own,
     dataplane::RouterDataplane& hw) const {
+  return program_encap(own, hw, ProgramRetryPolicy{}, nullptr, nullptr);
+}
+
+Programmer::EncapReport Programmer::program_encap(
+    const std::vector<te::Allocation>& own, dataplane::RouterDataplane& hw,
+    const ProgramRetryPolicy& policy, const InstallGate& gate,
+    util::Rng* rng) const {
   EncapReport report;
   hw.ingress.clear_routes();
+  std::size_t op_index = 0;
+  // One install op per route: attempt through the gate, retrying with
+  // exponential backoff; an exhausted route is skipped (gave up), never
+  // half-programmed.
+  auto install_succeeds = [&](std::size_t op) {
+    if (!gate) return true;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      if (gate(op, attempt)) return true;
+      report.retry_time_s += policy.attempt_timeout_s;
+      if (attempt + 1 >= policy.max_attempts) break;
+      double backoff =
+          policy.backoff_base_s * std::pow(policy.backoff_multiplier, attempt);
+      if (rng && policy.backoff_jitter > 0) {
+        backoff *= 1.0 + rng->uniform(0.0, policy.backoff_jitter);
+      }
+      report.retry_time_s += backoff;
+      ++report.install_retries;
+    }
+    return false;
+  };
   for (const te::Allocation& a : own) {
     dataplane::EncapEntry entry;
     for (const te::WeightedPath& wp : a.paths) {
       if (wp.path.hops() > dataplane::kMaxLabelDepth) {
         ++report.routes_too_deep;
+        continue;
+      }
+      if (!install_succeeds(op_index++)) {
+        ++report.routes_gave_up;
         continue;
       }
       dataplane::WeightedRoute route;

@@ -49,6 +49,9 @@ traffic::TrafficMatrix StateDb::demands() const {
   for (const auto& [origin, nsu] : ordered) {
     for (const DemandAdvert& d : nsu->demands) {
       if (d.rate_gbps <= 0) continue;
+      // An egress outside the configured inventory (possible only from a
+      // corrupted-yet-decodable NSU) must never reach the TE solver.
+      if (d.egress >= view_.num_nodes()) continue;
       tm.add(traffic::Demand{origin, d.egress, d.priority, d.rate_gbps});
     }
   }

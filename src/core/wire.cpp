@@ -1,16 +1,16 @@
 #include "core/wire.hpp"
 
 #include <cstring>
+#include <sstream>
 
 namespace dsdn::core {
 
 namespace {
 
-// Section types.
-constexpr std::uint16_t kSectionLinks = 1;
-constexpr std::uint16_t kSectionPrefixes = 2;
-constexpr std::uint16_t kSectionDemands = 3;
-constexpr std::uint16_t kSectionTlv = 4;
+// Per-record encoded sizes (see serialize_nsu).
+constexpr std::size_t kLinkAdvertBytes = 35;  // u32+u32+u8+3*f64+u16
+constexpr std::size_t kPrefixBytes = 5;       // u32+u8
+constexpr std::size_t kDemandBytes = 13;      // u32+u8+f64
 
 class Writer {
  public:
@@ -54,13 +54,29 @@ class Writer {
   std::vector<std::uint8_t> bytes_;
 };
 
+// Bounds-checked reader over an immutable byte window. Every primitive
+// read goes through need(), which compares the request against the bytes
+// *remaining* (never forming at_ + n, which could wrap); the first
+// failure latches status, offset, and the enclosing section into the
+// DecodeError and every subsequent read short-circuits.
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(bytes) {}
+  Reader(std::span<const std::uint8_t> bytes, DecodeError& err)
+      : bytes_(bytes), limit_(bytes.size()), err_(err) {}
+
+  void enter_section(std::uint16_t type) { section_ = type; }
+
+  bool fail(DecodeStatus status) {
+    if (err_.status == DecodeStatus::kOk) {
+      err_.status = status;
+      err_.offset = at_;
+      err_.section = section_;
+    }
+    return false;
+  }
 
   bool u8(std::uint8_t& v) {
-    if (at_ + 1 > limit_) return false;
+    if (!need(1)) return false;
     v = bytes_[at_++];
     return true;
   }
@@ -89,14 +105,13 @@ class Reader {
     return true;
   }
   bool str(std::size_t n, std::string& out) {
-    if (at_ + n > limit_) return false;
-    out.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(at_),
-               bytes_.begin() + static_cast<std::ptrdiff_t>(at_ + n));
+    if (!need(n)) return false;
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + at_), n);
     at_ += n;
     return true;
   }
   bool skip(std::size_t n) {
-    if (at_ + n > limit_) return false;
+    if (!need(n)) return false;
     at_ += n;
     return true;
   }
@@ -107,7 +122,7 @@ class Reader {
   // Narrows the readable window to the next n bytes; returns the old
   // limit for restore.
   bool push_limit(std::size_t n, std::size_t& saved) {
-    if (at_ + n > limit_) return false;
+    if (n > limit_ - at_) return fail(DecodeStatus::kBadSectionLength);
     saved = limit_;
     limit_ = at_ + n;
     return true;
@@ -115,15 +130,51 @@ class Reader {
   void pop_limit(std::size_t saved) { limit_ = saved; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t at_ = 0;
-  std::size_t limit_ = SIZE_MAX;
+  bool need(std::size_t n) {
+    if (n > limit_ - at_) return fail(DecodeStatus::kTruncated);
+    return true;
+  }
 
- public:
-  void init_limit() { limit_ = bytes_.size(); }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  std::size_t limit_;
+  std::uint16_t section_ = 0;
+  DecodeError& err_;
 };
 
 }  // namespace
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadSectionLength: return "bad-section-length";
+    case DecodeStatus::kBadCount: return "bad-count";
+    case DecodeStatus::kBadValue: return "bad-value";
+  }
+  return "?";
+}
+
+const char* wire_section_name(std::uint16_t section) {
+  switch (section) {
+    case 0: return "header";
+    case kSectionLinks: return "links";
+    case kSectionPrefixes: return "prefixes";
+    case kSectionDemands: return "demands";
+    case kSectionTlv: return "tlv";
+  }
+  return "unknown";
+}
+
+std::string DecodeError::to_string() const {
+  std::ostringstream os;
+  os << decode_status_name(status) << " at byte " << offset << " in section "
+     << section << " (" << wire_section_name(section) << ")";
+  return os.str();
+}
 
 std::vector<std::uint8_t> serialize_nsu(const NodeStateUpdate& nsu) {
   Writer w;
@@ -183,35 +234,47 @@ std::vector<std::uint8_t> serialize_nsu(const NodeStateUpdate& nsu) {
   return w.take();
 }
 
-std::optional<NodeStateUpdate> parse_nsu(
-    const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() > kMaxWireSize) return std::nullopt;
-  Reader r(bytes);
-  r.init_limit();
+DecodeResult decode_nsu(std::span<const std::uint8_t> bytes) {
+  DecodeResult result;
+  if (bytes.size() > kMaxWireSize) {
+    result.error = {DecodeStatus::kOversized, bytes.size(), 0};
+    return result;
+  }
+  Reader r(bytes, result.error);
 
   std::uint32_t magic;
   std::uint16_t version;
   NodeStateUpdate nsu;
-  if (!r.u32(magic) || magic != kWireMagic) return std::nullopt;
-  if (!r.u16(version) || version != kWireVersion) return std::nullopt;
-  if (!r.u32(nsu.origin)) return std::nullopt;
-  if (!r.u64(nsu.seq)) return std::nullopt;
+  if (!r.u32(magic)) return result;
+  if (magic != kWireMagic) {
+    r.fail(DecodeStatus::kBadMagic);
+    return result;
+  }
+  if (!r.u16(version)) return result;
+  if (version != kWireVersion) {
+    r.fail(DecodeStatus::kBadVersion);
+    return result;
+  }
+  if (!r.u32(nsu.origin) || !r.u64(nsu.seq)) return result;
 
   while (!r.done()) {
     std::uint16_t type;
     std::uint32_t length;
-    if (!r.u16(type) || !r.u32(length)) return std::nullopt;
-    if (length > r.remaining()) return std::nullopt;
+    r.enter_section(0);
+    if (!r.u16(type) || !r.u32(length)) return result;
     std::size_t saved;
-    if (!r.push_limit(length, saved)) return std::nullopt;
+    if (!r.push_limit(length, saved)) return result;
+    r.enter_section(type);
     switch (type) {
       case kSectionLinks: {
         std::uint32_t n;
-        if (!r.u32(n)) return std::nullopt;
-        // 35 bytes per advert (u32+u32+u8+3*f64+u16); bound n before
-        // reserving.
-        if (static_cast<std::size_t>(n) * 35 != r.remaining())
-          return std::nullopt;
+        if (!r.u32(n)) return result;
+        // Bound n against the section window before reserving; bytes a
+        // newer version appends after the records are skipped below.
+        if (n > r.remaining() / kLinkAdvertBytes) {
+          r.fail(DecodeStatus::kBadCount);
+          return result;
+        }
         nsu.links.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           LinkAdvert l;
@@ -219,7 +282,7 @@ std::optional<NodeStateUpdate> parse_nsu(
           if (!r.u32(l.link) || !r.u32(l.peer) || !r.u8(up) ||
               !r.f64(l.capacity_gbps) || !r.f64(l.igp_metric) ||
               !r.f64(l.delay_s) || !r.u16(l.sublabel)) {
-            return std::nullopt;
+            return result;
           }
           l.up = up != 0;
           nsu.links.push_back(l);
@@ -228,14 +291,16 @@ std::optional<NodeStateUpdate> parse_nsu(
       }
       case kSectionPrefixes: {
         std::uint32_t n;
-        if (!r.u32(n)) return std::nullopt;
-        if (static_cast<std::size_t>(n) * 5 != r.remaining())
-          return std::nullopt;
+        if (!r.u32(n)) return result;
+        if (n > r.remaining() / kPrefixBytes) {
+          r.fail(DecodeStatus::kBadCount);
+          return result;
+        }
         nsu.prefixes.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           topo::Prefix p;
           std::uint8_t len;
-          if (!r.u32(p.addr) || !r.u8(len)) return std::nullopt;
+          if (!r.u32(p.addr) || !r.u8(len)) return result;
           p.len = len;
           nsu.prefixes.push_back(p);
         }
@@ -243,16 +308,21 @@ std::optional<NodeStateUpdate> parse_nsu(
       }
       case kSectionDemands: {
         std::uint32_t n;
-        if (!r.u32(n)) return std::nullopt;
-        if (static_cast<std::size_t>(n) * 13 != r.remaining())
-          return std::nullopt;
+        if (!r.u32(n)) return result;
+        if (n > r.remaining() / kDemandBytes) {
+          r.fail(DecodeStatus::kBadCount);
+          return result;
+        }
         nsu.demands.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
           DemandAdvert d;
           std::uint8_t cls;
           if (!r.u32(d.egress) || !r.u8(cls) || !r.f64(d.rate_gbps))
-            return std::nullopt;
-          if (cls >= metrics::kNumPriorityClasses) return std::nullopt;
+            return result;
+          if (cls >= metrics::kNumPriorityClasses) {
+            r.fail(DecodeStatus::kBadValue);
+            return result;
+          }
           d.priority = static_cast<metrics::PriorityClass>(cls);
           nsu.demands.push_back(d);
         }
@@ -261,21 +331,31 @@ std::optional<NodeStateUpdate> parse_nsu(
       case kSectionTlv: {
         OpaqueTlv tlv;
         std::uint32_t value_len;
-        if (!r.u32(tlv.type) || !r.u32(value_len)) return std::nullopt;
-        if (value_len != r.remaining()) return std::nullopt;
-        if (!r.str(value_len, tlv.value)) return std::nullopt;
+        if (!r.u32(tlv.type) || !r.u32(value_len)) return result;
+        if (value_len > r.remaining()) {
+          r.fail(DecodeStatus::kBadCount);
+          return result;
+        }
+        if (!r.str(value_len, tlv.value)) return result;
         nsu.tlvs.push_back(std::move(tlv));
         break;
       }
       default:
         // Unknown section from a newer controller: skip it whole.
-        if (!r.skip(r.remaining())) return std::nullopt;
         break;
     }
-    if (!r.done()) return std::nullopt;  // trailing bytes inside section
+    // Skip any trailer a newer version appended inside a known section
+    // (and the whole payload of unknown sections).
+    if (!r.skip(r.remaining())) return result;
     r.pop_limit(saved);
   }
-  return nsu;
+  result.nsu = std::move(nsu);
+  return result;
+}
+
+std::optional<NodeStateUpdate> parse_nsu(
+    const std::vector<std::uint8_t>& bytes) {
+  return decode_nsu(bytes).nsu;
 }
 
 }  // namespace dsdn::core

@@ -13,12 +13,20 @@
 //   seq     u64
 //   then a sequence of sections, each: type u16 | length u32 | payload
 //
-// parse() never trusts input: truncated, oversized, or inconsistent
-// buffers yield std::nullopt, and a parsed NSU still goes through
-// validate_nsu() before a StateDb accepts it.
+// decode_nsu() never trusts input: every read is bounds-checked against
+// the buffer and the enclosing section window, so a truncated, oversized,
+// or inconsistent buffer yields a DecodeError (with the failing offset
+// and section) -- never undefined behavior. Two skip-forward rules give
+// old routers tolerance for new fields (the core/upgrade rollout story):
+// whole sections of unknown type are skipped, and bytes a newer version
+// appends *after* the records of a known section are skipped too. A
+// decoded NSU still goes through validate_nsu() before a StateDb accepts
+// it.
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/nsu.hpp"
@@ -32,12 +40,53 @@ inline constexpr std::uint16_t kWireVersion = 1;
 // drive allocation).
 inline constexpr std::size_t kMaxWireSize = 1 << 22;  // 4 MiB
 
+// Section types (public so tests and fuzzers can frame sections).
+inline constexpr std::uint16_t kSectionLinks = 1;
+inline constexpr std::uint16_t kSectionPrefixes = 2;
+inline constexpr std::uint16_t kSectionDemands = 3;
+inline constexpr std::uint16_t kSectionTlv = 4;
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kOversized,         // buffer exceeds kMaxWireSize
+  kTruncated,         // a read ran past the buffer or section window
+  kBadMagic,          // first four bytes are not 'DSDN'
+  kBadVersion,        // incompatible wire version
+  kBadSectionLength,  // section length field exceeds the remaining bytes
+  kBadCount,          // record count inconsistent with the section length
+  kBadValue,          // a field holds a value outside its domain
+};
+
+const char* decode_status_name(DecodeStatus s);
+
+// Section the decoder was inside when it failed; 0 = the fixed header.
+const char* wire_section_name(std::uint16_t section);
+
+struct DecodeError {
+  DecodeStatus status = DecodeStatus::kOk;
+  std::size_t offset = 0;     // byte offset at which decoding failed
+  std::uint16_t section = 0;  // section type being decoded (0 = header)
+
+  // "truncated at byte 17 in section 1 (links)" -- for logs/monitoring.
+  std::string to_string() const;
+};
+
+struct DecodeResult {
+  std::optional<NodeStateUpdate> nsu;
+  DecodeError error;  // meaningful iff !nsu
+
+  explicit operator bool() const { return nsu.has_value(); }
+};
+
 std::vector<std::uint8_t> serialize_nsu(const NodeStateUpdate& nsu);
 
-// Strict parse; nullopt on any malformation. Unknown section types are
-// skipped (forward compatibility); unknown *field* bytes inside known
-// sections are rejected.
-std::optional<NodeStateUpdate> parse_nsu(
-    const std::vector<std::uint8_t>& bytes);
+// Bounds-checked decode; on failure the error names the status, byte
+// offset, and enclosing section. Unknown section types and known-section
+// trailers are skipped (forward compatibility); structurally inconsistent
+// buffers are rejected.
+DecodeResult decode_nsu(std::span<const std::uint8_t> bytes);
+
+// Legacy strict-parse surface: nullopt on any malformation.
+std::optional<NodeStateUpdate> parse_nsu(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace dsdn::core

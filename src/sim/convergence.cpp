@@ -1,6 +1,7 @@
 #include "sim/convergence.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -8,17 +9,69 @@
 
 namespace dsdn::sim {
 
+namespace {
+
+// Extra hop latency from a sampled run of lost transfers: exponential
+// backoff with jitter per retry; +inf when the transfer exhausts its
+// retransmit budget (the flooder gives up on this hop).
+double sample_retx_delay(const LossyFloodModel& loss, util::Rng& rng) {
+  if (loss.loss_prob <= 0) return 0.0;
+  double delay = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    if (!rng.bernoulli(loss.loss_prob)) return delay;
+    if (attempt >= loss.max_retransmits)
+      return std::numeric_limits<double>::infinity();
+    double backoff =
+        loss.retx_base_s * std::pow(loss.retx_multiplier, attempt);
+    if (loss.retx_jitter > 0)
+      backoff *= 1.0 + rng.uniform(0.0, loss.retx_jitter);
+    delay += backoff;
+  }
+}
+
+// Tprog under transient programming failures: failed attempts pay
+// timeout + backoff before the (bounded) final success sample.
+double sample_tprog_with_retries(const DsdnConvergenceConfig& config,
+                                 util::Rng& rng) {
+  double t = 0.0;
+  if (config.prog_fail_prob > 0) {
+    const core::ProgramRetryPolicy& p = config.prog_retry;
+    for (int attempt = 0; attempt + 1 < p.max_attempts; ++attempt) {
+      if (!rng.bernoulli(config.prog_fail_prob)) break;
+      t += p.attempt_timeout_s;
+      double backoff =
+          p.backoff_base_s * std::pow(p.backoff_multiplier, attempt);
+      if (p.backoff_jitter > 0)
+        backoff *= 1.0 + rng.uniform(0.0, p.backoff_jitter);
+      t += backoff;
+    }
+  }
+  return t + metrics::sample_dsdn_tprog(config.calib, rng);
+}
+
+}  // namespace
+
 std::vector<double> nsu_arrival_times(const topo::Topology& topo,
                                       topo::NodeId origin,
                                       const metrics::DsdnCalibration& calib,
                                       util::Rng& rng) {
+  return nsu_arrival_times(topo, origin, calib, LossyFloodModel{}, rng);
+}
+
+std::vector<double> nsu_arrival_times(const topo::Topology& topo,
+                                      topo::NodeId origin,
+                                      const metrics::DsdnCalibration& calib,
+                                      const LossyFloodModel& loss,
+                                      util::Rng& rng) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Sample one processing delay per link for this event, then run
-  // earliest-arrival Dijkstra over delay + processing.
+  // earliest-arrival Dijkstra over delay + processing (+ any sampled
+  // retransmission backoff under flood loss).
   std::vector<double> hop_cost(topo.num_links(), kInf);
   for (const topo::Link& l : topo.links()) {
     if (!l.up) continue;
-    hop_cost[l.id] = l.delay_s + metrics::sample_dsdn_hop_process(calib, rng);
+    hop_cost[l.id] = l.delay_s + metrics::sample_dsdn_hop_process(calib, rng) +
+                     sample_retx_delay(loss, rng);
   }
   std::vector<double> arrival(topo.num_nodes(), kInf);
   using Entry = std::pair<double, topo::NodeId>;
@@ -82,8 +135,10 @@ ComponentDistributions measure_dsdn_convergence(
     // earliest arrival from either.
     const topo::NodeId a = scratch.link(fiber).src;
     const topo::NodeId b = scratch.link(fiber).dst;
-    const auto from_a = nsu_arrival_times(scratch, a, config.calib, rng);
-    const auto from_b = nsu_arrival_times(scratch, b, config.calib, rng);
+    const auto from_a =
+        nsu_arrival_times(scratch, a, config.calib, config.flood, rng);
+    const auto from_b =
+        nsu_arrival_times(scratch, b, config.calib, config.flood, rng);
 
     double event_total = 0.0;
     for (topo::NodeId i = 0; i < scratch.num_nodes(); ++i) {
@@ -93,7 +148,7 @@ ComponentDistributions measure_dsdn_convergence(
           config.measured_tcomp.empty()
               ? metrics::sample_dsdn_tcomp(config.calib, rng)
               : config.measured_tcomp.sample(rng);
-      const double tprog = metrics::sample_dsdn_tprog(config.calib, rng);
+      const double tprog = sample_tprog_with_retries(config, rng);
       out.tprop.add(tprop);
       out.tcomp.add(tcomp);
       out.tprog.add(tprog);

@@ -1,5 +1,6 @@
 #include "sim/emulation.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/wire.hpp"
@@ -48,13 +49,73 @@ void DsdnEmulation::flood(const core::FloodDirective& directive,
       std::make_shared<const std::vector<std::uint8_t>>(
           core::serialize_nsu(directive.nsu));
   for (topo::LinkId lid : directive.out_links) {
-    const topo::Link& l = topo_.link(lid);
-    const double delay = l.delay_s + config_.nsu_process_s;
-    queue_.schedule_in(delay, [this, bytes, lid] {
-      const auto nsu = core::parse_nsu(*bytes);
-      if (nsu) deliver(*nsu, lid);
-    });
+    transmit(bytes, lid, /*attempt=*/0);
   }
+}
+
+void DsdnEmulation::transmit(
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes, topo::LinkId lid,
+    int attempt) {
+  ++flood_stats_.transmissions;
+  const topo::Link& l = topo_.link(lid);
+  const double base_delay = l.delay_s + config_.nsu_process_s;
+  auto deliver_payload =
+      [this, lid](std::shared_ptr<const std::vector<std::uint8_t>> payload,
+                  double delay, bool corrupted) {
+        queue_.schedule_in(delay, [this, payload, lid, corrupted] {
+          const auto decoded = core::decode_nsu(*payload);
+          if (!decoded) {
+            ++flood_stats_.decode_errors;
+            return;
+          }
+          // A garbled copy can still decode (flips in float payloads are
+          // just different numbers); the transport checksum catches what
+          // the framing cannot, so it never reaches the StateDb either
+          // way -- but the decoder was exercised on the garbled bytes.
+          if (corrupted) {
+            ++flood_stats_.decode_errors;
+            return;
+          }
+          deliver(*decoded.nsu, lid);
+        });
+      };
+  if (!faults_) {
+    deliver_payload(std::move(bytes), base_delay, /*corrupted=*/false);
+    return;
+  }
+
+  bool intact_copy_sent = false;
+  for (const FaultyBus::Copy& copy : faults_->transmit(lid)) {
+    auto payload = bytes;
+    if (copy.corrupted) {
+      auto garbled = *bytes;
+      faults_->corrupt_payload(lid, garbled);
+      payload = std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(garbled));
+    } else {
+      intact_copy_sent = true;
+    }
+    deliver_payload(std::move(payload), base_delay + copy.extra_delay_s,
+                    copy.corrupted);
+  }
+  if (intact_copy_sent) return;
+
+  // No intact copy made it onto the wire: the transfer times out at the
+  // sender (gRPC deadline) and is retransmitted with exponential backoff
+  // plus jitter -- bounded, so a dead link cannot retransmit forever.
+  const FloodRetryPolicy& retry = config_.flood_retry;
+  if (attempt >= retry.max_retransmits) {
+    ++flood_stats_.gave_up;
+    return;
+  }
+  double backoff = retry.base_s * std::pow(retry.multiplier, attempt);
+  if (retry.jitter > 0) {
+    backoff *= 1.0 + faults_->uniform(lid, 0.0, retry.jitter);
+  }
+  ++flood_stats_.retransmits;
+  queue_.schedule_in(base_delay + backoff, [this, bytes, lid, attempt] {
+    transmit(bytes, lid, attempt + 1);
+  });
 }
 
 void DsdnEmulation::deliver(const core::NodeStateUpdate& nsu,
@@ -214,6 +275,20 @@ void DsdnEmulation::measurement_epoch() {
   }
   run_to_quiescence();
   recompute_dirty();
+}
+
+void DsdnEmulation::enable_fault_injection(
+    const LinkFaultProfile& default_profile, std::uint64_t seed) {
+  faults_ = std::make_unique<FaultyBus>(seed);
+  faults_->set_default_profile(default_profile);
+  flood_stats_ = {};
+}
+
+void DsdnEmulation::set_link_fault_profile(topo::LinkId link,
+                                           const LinkFaultProfile& p) {
+  if (!faults_)
+    throw std::logic_error("set_link_fault_profile: faults not enabled");
+  faults_->set_link_profile(link, p);
 }
 
 bool DsdnEmulation::views_converged() const {

@@ -16,10 +16,24 @@
 #include "core/controller.hpp"
 #include "dataplane/forwarder.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/faulty_bus.hpp"
 #include "traffic/estimator.hpp"
 #include "traffic/matrix.hpp"
 
 namespace dsdn::sim {
+
+// Bounded retransmission for NSU transfers over one link. The flooder
+// treats a transmit attempt as failed when no intact copy reaches the
+// far end (gRPC would surface this as a deadline-exceeded RPC) and
+// retries with exponential backoff plus jitter, up to max_retransmits,
+// after which it gives up on that link (the NSU can still arrive via
+// other flooding paths, or with the next originated sequence number).
+struct FloodRetryPolicy {
+  double base_s = 0.050;
+  double multiplier = 2.0;
+  double jitter = 0.2;  // fraction of the backoff added uniformly
+  int max_retransmits = 5;
+};
 
 struct EmulationConfig {
   te::SolverOptions solver_options;
@@ -30,6 +44,7 @@ struct EmulationConfig {
   bool use_bypasses = true;
   dataplane::BypassStrategy bypass_strategy =
       dataplane::BypassStrategy::kCapacityAware;
+  FloodRetryPolicy flood_retry;
 };
 
 class DsdnEmulation final : public dataplane::DataplaneProvider {
@@ -67,6 +82,26 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void measurement_epoch();
   bool in_band_measurement() const { return !estimators_.empty(); }
 
+  // --- Fault injection on the flooding plane ---
+  // Interposes a FaultyBus between flooders and links: per-link
+  // drop/dup/corrupt/reorder/jitter with seeded per-link RNG streams.
+  // Transfers that lose every intact copy are retransmitted per
+  // config.flood_retry. Deterministic: same seed, same run.
+  void enable_fault_injection(const LinkFaultProfile& default_profile,
+                              std::uint64_t seed);
+  void set_link_fault_profile(topo::LinkId link, const LinkFaultProfile& p);
+  FaultyBus* faulty_bus() { return faults_.get(); }
+
+  struct FloodStats {
+    std::size_t transmissions = 0;  // attempts incl. retransmits
+    std::size_t retransmits = 0;
+    std::size_t gave_up = 0;        // transfers abandoned after max retx
+    std::size_t decode_errors = 0;  // corrupted copies rejected by decode
+
+    bool operator==(const FloodStats&) const = default;
+  };
+  const FloodStats& flood_stats() const { return flood_stats_; }
+
   // True iff all controllers' StateDb digests are identical.
   bool views_converged() const;
 
@@ -91,6 +126,10 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
 
  private:
   void flood(const core::FloodDirective& directive, topo::NodeId from);
+  // One transmit attempt (attempt 0 = first try) of a serialized NSU
+  // over a link; schedules deliveries and, on loss, the retransmit.
+  void transmit(std::shared_ptr<const std::vector<std::uint8_t>> bytes,
+                topo::LinkId lid, int attempt);
   void deliver(const core::NodeStateUpdate& nsu, topo::LinkId via);
   void run_to_quiescence();
   void recompute_dirty();
@@ -109,6 +148,8 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   std::vector<char> dirty_;
   sim::EventQueue queue_;
   std::size_t messages_ = 0;
+  std::unique_ptr<FaultyBus> faults_;
+  FloodStats flood_stats_;
 };
 
 }  // namespace dsdn::sim

@@ -1,0 +1,70 @@
+#include "sim/faulty_bus.hpp"
+
+namespace dsdn::sim {
+
+const LinkFaultProfile& FaultyBus::profile(topo::LinkId link) const {
+  const auto it = per_link_.find(link);
+  return it == per_link_.end() ? default_ : it->second;
+}
+
+util::Rng& FaultyBus::rng_for(topo::LinkId link) {
+  auto it = rngs_.find(link);
+  if (it == rngs_.end()) {
+    // splitmix64-derived child seed: streams for links i and i+1 share no
+    // structure (unlike seed + i, which feeds mt19937_64 nearly identical
+    // initial states).
+    it = rngs_
+             .emplace(link, util::Rng(util::splitmix64(
+                                seed_ ^ util::splitmix64(link + 1))))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<FaultyBus::Copy> FaultyBus::transmit(topo::LinkId link) {
+  const LinkFaultProfile& p = profile(link);
+  ++stats_.attempts;
+  if (p.quiet()) return {Copy{}};
+  util::Rng& rng = rng_for(link);
+  if (p.drop > 0 && rng.bernoulli(p.drop)) {
+    ++stats_.dropped;
+    return {};
+  }
+  const std::size_t copies =
+      (p.duplicate > 0 && rng.bernoulli(p.duplicate)) ? 2 : 1;
+  if (copies == 2) ++stats_.duplicated;
+  std::vector<Copy> out;
+  out.reserve(copies);
+  for (std::size_t i = 0; i < copies; ++i) {
+    Copy c;
+    if (p.corrupt > 0 && rng.bernoulli(p.corrupt)) {
+      c.corrupted = true;
+      ++stats_.corrupted;
+    }
+    if (p.jitter_s > 0) c.extra_delay_s += rng.uniform(0.0, p.jitter_s);
+    if (p.reorder > 0 && rng.bernoulli(p.reorder)) {
+      c.extra_delay_s += rng.uniform(0.0, p.reorder_delay_s);
+      ++stats_.reordered;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void FaultyBus::corrupt_payload(topo::LinkId link,
+                                std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  util::Rng& rng = rng_for(link);
+  const int flips = 1 + static_cast<int>(rng.uniform_int(0, 3));
+  for (int f = 0; f < flips; ++f) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  }
+}
+
+double FaultyBus::uniform(topo::LinkId link, double lo, double hi) {
+  return rng_for(link).uniform(lo, hi);
+}
+
+}  // namespace dsdn::sim

@@ -238,9 +238,11 @@ TransientResult TransientSimulator::run() {
       const topo::NodeId a = scratch_.link(e.fiber).src;
       const topo::NodeId b = scratch_.link(e.fiber).dst;
       const auto from_a =
-          nsu_arrival_times(scratch_, a, config_.dsdn_calib, rng_);
+          nsu_arrival_times(scratch_, a, config_.dsdn_calib, config_.flood,
+                            rng_);
       const auto from_b =
-          nsu_arrival_times(scratch_, b, config_.dsdn_calib, rng_);
+          nsu_arrival_times(scratch_, b, config_.dsdn_calib, config_.flood,
+                            rng_);
       // One convergence instant per headend.
       std::vector<double> headend_switch(topo_.num_nodes(), -1.0);
       for (std::size_t i = 0; i < target.allocations.size(); ++i) {

@@ -60,6 +60,9 @@ struct TransientConfig {
   FailureParams failures;
   metrics::CsdnCalibration csdn_calib;
   metrics::DsdnCalibration dsdn_calib;
+  // Flood loss injected on every dSDN NSU hop (loss_prob 0 = off); lost
+  // transfers pay bounded retransmit backoff (Fig 10 under lossy flood).
+  LossyFloodModel flood;
   te::SolverOptions solver_options;
   // Pre-installed bypass paths (Appendix D). Recomputed per topology
   // state when enabled.

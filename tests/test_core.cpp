@@ -6,6 +6,7 @@
 #include "core/state_db.hpp"
 #include "topo/synthetic.hpp"
 #include "traffic/gravity.hpp"
+#include "util/rng.hpp"
 
 namespace dsdn::core {
 namespace {
@@ -60,6 +61,92 @@ TEST(Nsu, WireSizeTracksContent) {
     big.demands.push_back(
         {static_cast<topo::NodeId>(i + 2), PriorityClass::kHigh, 1.0});
   EXPECT_GT(nsu_wire_size(big), nsu_wire_size(small) + 1000);
+}
+
+// A 6-node ring as the configured inventory for StateDb tests.
+topo::Topology ring6() {
+  topo::Topology t;
+  for (int i = 0; i < 6; ++i) {
+    t.add_node("r" + std::to_string(i), "m" + std::to_string(i));
+  }
+  for (topo::NodeId i = 0; i < 6; ++i) t.add_duplex(i, (i + 1) % 6, 100.0);
+  return t;
+}
+
+NodeStateUpdate content_nsu(const topo::Topology& t, topo::NodeId origin,
+                            std::uint64_t seq, double cap) {
+  NodeStateUpdate nsu = minimal_nsu(origin, seq);
+  const topo::NodeId peer = (origin + 1) % 6;
+  nsu.links.push_back({t.find_link(origin, peer), peer, true, cap, 1.0,
+                       0.001, 0});
+  return nsu;
+}
+
+TEST(StateDb, DuplicateApplyIsIdempotent) {
+  const auto topo = ring6();
+  StateDb db(topo);
+  const auto nsu = content_nsu(topo, 1, 5, 100.0);
+  EXPECT_TRUE(db.apply(nsu));
+  const auto digest = db.digest();
+  // Exact duplicate (same seq): rejected as stale, state untouched.
+  EXPECT_FALSE(db.apply(nsu));
+  EXPECT_EQ(db.digest(), digest);
+  EXPECT_EQ(db.rejected_stale(), 1u);
+  EXPECT_EQ(db.num_origins(), 1u);
+}
+
+TEST(StateDb, StaleSeqNeverOverwritesNewerState) {
+  const auto topo = ring6();
+  StateDb db(topo);
+  EXPECT_TRUE(db.apply(content_nsu(topo, 1, 9, 400.0)));
+  const auto digest = db.digest();
+  // An older seq with different (attacker-chosen) content must bounce.
+  EXPECT_FALSE(db.apply(content_nsu(topo, 1, 3, 777.0)));
+  EXPECT_EQ(db.digest(), digest);
+  ASSERT_NE(db.latest(1), nullptr);
+  EXPECT_EQ(db.latest(1)->seq, 9u);
+  EXPECT_DOUBLE_EQ(db.latest(1)->links[0].capacity_gbps, 400.0);
+  EXPECT_EQ(db.rejected_stale(), 1u);
+}
+
+TEST(StateDb, ReorderedDeliveryConvergesToSameDigest) {
+  // Flooding gives no ordering guarantee; any interleaving of the same
+  // NSU set must land every replica on the same digest (the paper's
+  // consensus-free convergence invariant).
+  const auto topo = ring6();
+  std::vector<NodeStateUpdate> updates;
+  for (topo::NodeId origin = 1; origin <= 4; ++origin) {
+    for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+      updates.push_back(
+          content_nsu(topo, origin, seq, 100.0 * static_cast<double>(seq)));
+    }
+  }
+  StateDb in_order(topo);
+  for (const auto& u : updates) in_order.apply(u);
+
+  StateDb reversed(topo);
+  for (auto it = updates.rbegin(); it != updates.rend(); ++it)
+    reversed.apply(*it);
+
+  StateDb shuffled(topo);
+  util::Rng rng(0x0DD);
+  auto perm = updates;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[static_cast<std::size_t>(
+                               rng.uniform_int(0, static_cast<std::int64_t>(
+                                                      i - 1)))]);
+  }
+  for (const auto& u : perm) shuffled.apply(u);
+
+  EXPECT_EQ(in_order.digest(), reversed.digest());
+  EXPECT_EQ(in_order.digest(), shuffled.digest());
+  // Every replica kept only the newest seq per origin.
+  for (topo::NodeId origin = 1; origin <= 4; ++origin) {
+    ASSERT_NE(reversed.latest(origin), nullptr);
+    EXPECT_EQ(reversed.latest(origin)->seq, 3u);
+  }
+  // Reversed delivery saw 2 stale updates per origin.
+  EXPECT_EQ(reversed.rejected_stale(), 8u);
 }
 
 TEST(Bus, PublishReachesSubscribersInOrder) {

@@ -154,6 +154,107 @@ TEST(FaultInjection, ConcurrentCrashOfMultipleControllers) {
   }
 }
 
+TEST(FaultyFlooding, ConvergesUnderFivePercentDropWithBoundedRetransmits) {
+  sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
+  sim::LinkFaultProfile lossy;
+  lossy.drop = 0.05;
+  wan.enable_fault_injection(lossy, /*seed=*/0xF10D);
+  wan.bootstrap();
+  EXPECT_TRUE(wan.views_converged());
+
+  const auto& fs = wan.flood_stats();
+  EXPECT_GT(fs.retransmits, 0u);       // losses actually happened
+  EXPECT_EQ(fs.gave_up, 0u);           // 5% never exhausts 5 retransmits here
+  EXPECT_GT(wan.faulty_bus()->stats().dropped, 0u);
+
+  // A failure event still converges and routes around under loss.
+  const topo::LinkId in_a = wan.network().find_link(2, 3);
+  wan.fail_fiber(in_a);
+  EXPECT_TRUE(wan.views_converged());
+  const auto r = wan.send_packet(0, wan.address_of(6));
+  EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered);
+}
+
+TEST(FaultyFlooding, LossyRunsAreBitIdenticalUnderSameSeed) {
+  sim::LinkFaultProfile chaos;
+  chaos.drop = 0.08;
+  chaos.duplicate = 0.10;
+  chaos.corrupt = 0.05;
+  chaos.reorder = 0.15;
+  chaos.jitter_s = 0.003;
+
+  auto run = [&](std::uint64_t seed) {
+    sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
+    wan.enable_fault_injection(chaos, seed);
+    wan.bootstrap();
+    wan.fail_fiber(wan.network().find_link(2, 3));
+    std::vector<std::uint64_t> digests;
+    for (topo::NodeId n = 0; n < 8; ++n)
+      digests.push_back(wan.controller(n).state().digest());
+    return std::make_tuple(digests, wan.messages_delivered(),
+                           wan.flood_stats(), wan.faulty_bus()->stats(),
+                           wan.sim_time());
+  };
+
+  const auto a = run(0x5EED);
+  const auto b = run(0x5EED);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_TRUE(std::get<2>(a) == std::get<2>(b));
+  EXPECT_TRUE(std::get<3>(a) == std::get<3>(b));
+  EXPECT_DOUBLE_EQ(std::get<4>(a), std::get<4>(b));
+}
+
+TEST(FaultyFlooding, CorruptedCopiesAreRejectedYetViewsConverge) {
+  sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
+  sim::LinkFaultProfile garbling;
+  garbling.corrupt = 0.20;
+  wan.enable_fault_injection(garbling, /*seed=*/0xC0);
+  wan.bootstrap();
+  EXPECT_TRUE(wan.views_converged());
+  EXPECT_GT(wan.flood_stats().decode_errors, 0u);
+  // Corrupted transfers look like losses to the sender and get retried.
+  EXPECT_GT(wan.flood_stats().retransmits, 0u);
+  const auto r = wan.send_packet(0, wan.address_of(6));
+  EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered);
+}
+
+TEST(FaultyFlooding, DuplicatedAndReorderedCopiesAreIdempotent) {
+  sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
+  sim::LinkFaultProfile messy;
+  messy.duplicate = 0.30;
+  messy.reorder = 0.30;
+  wan.enable_fault_injection(messy, /*seed=*/0xD0B);
+  wan.bootstrap();
+  EXPECT_TRUE(wan.views_converged());
+  EXPECT_GT(wan.faulty_bus()->stats().duplicated, 0u);
+  EXPECT_GT(wan.faulty_bus()->stats().reordered, 0u);
+  // Duplicates inflate deliveries but StateDb stale-rejection keeps every
+  // view identical; traffic still routes.
+  const auto r = wan.send_packet(6, wan.address_of(0));
+  EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered);
+}
+
+TEST(FaultyFlooding, BlackholedLinkGivesUpAfterBoundedRetransmits) {
+  sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
+  wan.enable_fault_injection(sim::LinkFaultProfile{}, /*seed=*/0xB1);
+  sim::LinkFaultProfile blackhole;
+  blackhole.drop = 1.0;
+  const topo::LinkId bridge = wan.network().find_link(1, 5);
+  ASSERT_NE(bridge, topo::kInvalidLink);
+  wan.set_link_fault_profile(bridge, blackhole);
+
+  // bootstrap() must terminate (retransmits are bounded) even though one
+  // flooding direction never delivers, and the sender must account the
+  // abandoned transfers.
+  wan.bootstrap();
+  EXPECT_GT(wan.flood_stats().gave_up, 0u);
+  EXPECT_EQ(wan.flood_stats().retransmits,
+            wan.flood_stats().gave_up * 5u);  // max_retransmits each
+  // Island B is missing island-A state that only crosses 1->5.
+  EXPECT_FALSE(wan.views_converged());
+}
+
 TEST(FaultInjection, CrashDuringPartitionRecoversAfterHeal) {
   sim::DsdnEmulation wan(bridged_rings(), cross_traffic());
   wan.bootstrap();

@@ -24,6 +24,36 @@ TEST(Distribution, PercentileInterpolates) {
   EXPECT_THROW(d.percentile(101), std::invalid_argument);
 }
 
+TEST(Distribution, PercentileExactAtOneTwoAndHundredSamples) {
+  // n = 1: every percentile is the lone sample.
+  EmpiricalDistribution one({7.5});
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(one.percentile(p), 7.5) << "p=" << p;
+  }
+
+  // n = 2: linear interpolation between the two order statistics,
+  // rank = p/100 * (n-1).
+  EmpiricalDistribution two({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(two.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(two.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(two.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(two.percentile(75), 17.5);
+  EXPECT_DOUBLE_EQ(two.percentile(100), 20.0);
+
+  // n = 100 over 0..99: rank = p/100 * 99 lands exactly on a sample
+  // whenever p is a multiple of 100/99ths -- check a mix of exact and
+  // interpolated ranks.
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  EmpiricalDistribution hundred(v);
+  EXPECT_DOUBLE_EQ(hundred.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(hundred.percentile(100), 99.0);
+  EXPECT_DOUBLE_EQ(hundred.percentile(50), 49.5);    // rank 49.5
+  EXPECT_DOUBLE_EQ(hundred.percentile(99), 98.01);   // rank 98.01
+  EXPECT_DOUBLE_EQ(hundred.percentile(10), 9.9);     // rank 9.9
+  EXPECT_DOUBLE_EQ(hundred.median(), 49.5);
+}
+
 TEST(Distribution, EmptyThrows) {
   EmpiricalDistribution d;
   EXPECT_THROW(d.mean(), std::logic_error);

@@ -39,6 +39,33 @@ TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
   EXPECT_NE(s0.uniform_int(0, 1 << 30), s1.uniform_int(0, 1 << 30));
 }
 
+TEST(Rng, IndexedSplitsAreNotAdjacentSeedStreams) {
+  // Child streams must come from splitmix64(seed ^ f(index)), not from
+  // seed + index: seeding a PCG/LCG family with adjacent integers
+  // produces visibly correlated streams. Verify split(i) disagrees with
+  // a raw Rng(seed + i) and that sibling splits are decorrelated.
+  const std::uint64_t seed = 1234;
+  Rng parent(seed);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Rng child = parent.split(i);
+    Rng naive(seed + i);
+    int same = 0;
+    for (int k = 0; k < 100; ++k) {
+      if (child.uniform_int(0, 1 << 30) == naive.uniform_int(0, 1 << 30))
+        ++same;
+    }
+    EXPECT_LT(same, 3) << "split(" << i << ") matches naive seed+" << i;
+  }
+  // Sibling decorrelation: adjacent indexed splits share almost no draws.
+  Rng s0 = parent.split(100);
+  Rng s1 = parent.split(101);
+  int same = 0;
+  for (int k = 0; k < 200; ++k) {
+    if (s0.uniform_int(0, 1 << 30) == s1.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
 TEST(Rng, UniformIntCoversRangeInclusive) {
   Rng rng(3);
   std::set<std::int64_t> seen;

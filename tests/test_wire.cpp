@@ -101,6 +101,129 @@ TEST(Wire, RejectsOversizedLengthField) {
   bytes[20] = 0xFF;
   bytes[21] = 0xFF;
   EXPECT_FALSE(parse_nsu(bytes).has_value());
+  const auto result = decode_nsu(bytes);
+  EXPECT_EQ(result.error.status, DecodeStatus::kBadSectionLength);
+}
+
+TEST(DecodeError, TruncatedHeaderReportsTruncatedStatus) {
+  const auto bytes = serialize_nsu(sample_nsu());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{5},
+                          std::size_t{10}, std::size_t{17}}) {
+    const auto result = decode_nsu(
+        std::span<const std::uint8_t>(bytes.data(), cut));
+    ASSERT_FALSE(result) << "cut at " << cut;
+    EXPECT_EQ(result.error.status, DecodeStatus::kTruncated) << "cut " << cut;
+    EXPECT_LE(result.error.offset, cut);
+    EXPECT_EQ(result.error.section, 0) << "header failures carry section 0";
+  }
+}
+
+TEST(DecodeError, EveryFailingPrefixCarriesStatusAndOffset) {
+  // Any strict prefix that fails must say why and where; the offset must
+  // point inside the truncated buffer, never past it.
+  const auto bytes = serialize_nsu(sample_nsu());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto result =
+        decode_nsu(std::span<const std::uint8_t>(bytes.data(), cut));
+    if (result) continue;  // boundary cuts are shorter valid messages
+    EXPECT_NE(result.error.status, DecodeStatus::kOk) << "cut " << cut;
+    EXPECT_LE(result.error.offset, cut) << "cut " << cut;
+  }
+}
+
+TEST(DecodeError, BadMagicAndVersionStatuses) {
+  auto bytes = serialize_nsu(sample_nsu());
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(decode_nsu(bad_magic).error.status, DecodeStatus::kBadMagic);
+  auto bad_version = bytes;
+  bad_version[4] = 0x7F;
+  EXPECT_EQ(decode_nsu(bad_version).error.status, DecodeStatus::kBadVersion);
+}
+
+TEST(DecodeError, InflatedCountReportsBadCountInLinksSection) {
+  NodeStateUpdate nsu;
+  nsu.origin = 1;
+  nsu.seq = 1;
+  nsu.links.push_back({3, 9, true, 100.0, 2.5, 0.004, 17});
+  auto bytes = serialize_nsu(nsu);
+  // The links count u32 follows the 18-byte header and the 6-byte
+  // section type+length.
+  bytes[24] = 0xFF;
+  bytes[25] = 0xFF;
+  const auto result = decode_nsu(bytes);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error.status, DecodeStatus::kBadCount);
+  EXPECT_EQ(result.error.section, kSectionLinks);
+}
+
+TEST(DecodeError, InvalidPriorityClassReportsBadValueInDemandsSection) {
+  NodeStateUpdate nsu;
+  nsu.origin = 1;
+  nsu.seq = 1;
+  nsu.demands.push_back({2, PriorityClass::kHigh, 1.0});
+  auto bytes = serialize_nsu(nsu);
+  // Layout: 18-byte header, empty links section (6+4), empty prefixes
+  // section (6+4), demands type+length (6) + count (4) + egress (4),
+  // then the priority class byte.
+  const std::size_t cls_at = 18 + 10 + 10 + 6 + 4 + 4;
+  ASSERT_LT(cls_at, bytes.size());
+  bytes[cls_at] = 0x7F;
+  const auto result = decode_nsu(bytes);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error.status, DecodeStatus::kBadValue);
+  EXPECT_EQ(result.error.section, kSectionDemands);
+  // The whole 13-byte demand record is read before the value check, so
+  // the offset points just past it.
+  EXPECT_EQ(result.error.offset, cls_at + 9);
+}
+
+TEST(DecodeError, OversizedBufferReportsOversized) {
+  std::vector<std::uint8_t> huge(kMaxWireSize + 1, 0);
+  const auto result = decode_nsu(huge);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error.status, DecodeStatus::kOversized);
+}
+
+TEST(DecodeError, ToStringNamesStatusAndSection) {
+  const DecodeError err{DecodeStatus::kBadCount, 24, kSectionLinks};
+  const auto text = err.to_string();
+  EXPECT_NE(text.find("bad-count"), std::string::npos) << text;
+  EXPECT_NE(text.find("links"), std::string::npos) << text;
+  EXPECT_NE(text.find("24"), std::string::npos) << text;
+}
+
+TEST(Wire, SkipsKnownSectionTrailerForForwardCompat) {
+  // A newer controller appends extra bytes *inside* a known section
+  // (after the records the length field accounts for): current decoders
+  // must keep the records and skip the trailer.
+  std::vector<std::uint8_t> bytes;
+  auto push_u16 = [&](std::uint16_t v) {
+    bytes.push_back(static_cast<std::uint8_t>(v));
+    bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  auto push_u32 = [&](std::uint32_t v) {
+    push_u16(static_cast<std::uint16_t>(v));
+    push_u16(static_cast<std::uint16_t>(v >> 16));
+  };
+  push_u32(kWireMagic);
+  push_u16(kWireVersion);
+  push_u32(11);  // origin
+  push_u32(5);   // seq lo
+  push_u32(0);   // seq hi
+  push_u16(kSectionPrefixes);
+  push_u32(4 + 5 + 3);  // count + one prefix + a 3-byte trailer
+  push_u32(1);
+  push_u32(topo::parse_ipv4("10.9.0.0"));
+  bytes.push_back(16);
+  bytes.insert(bytes.end(), {0xAA, 0xBB, 0xCC});
+
+  const auto result = decode_nsu(bytes);
+  ASSERT_TRUE(result) << result.error.to_string();
+  EXPECT_EQ(result.nsu->origin, 11u);
+  EXPECT_EQ(result.nsu->seq, 5u);
+  ASSERT_EQ(result.nsu->prefixes.size(), 1u);
+  EXPECT_EQ(result.nsu->prefixes[0].len, 16u);
 }
 
 TEST(Wire, RejectsInvalidPriorityClass) {
