@@ -8,12 +8,24 @@
 // Scale: workloads default to sizes that keep a full `for b in bench/*`
 // sweep to a few minutes on a laptop while preserving every trend the
 // paper reports. Set DSDN_BENCH_SCALE=full for paper-scale runs.
+//
+// Machine-readable artifacts: construct a bench::BenchRun at the top of
+// main() and feed it params/series/metrics as the run prints its tables.
+// With DSDN_BENCH_JSON=<dir> set, its destructor writes
+// <dir>/BENCH_<name>.json (workload params, headline metrics, percentile
+// series, and the delta of the process metrics registry over the run).
+// With DSDN_TRACE=<dir> set, the span tracer records the whole run and
+// a chrome://tracing file lands at <dir>/TRACE_<name>.json.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "metrics/distribution.hpp"
+#include "obs/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topo/synthetic.hpp"
 #include "topo/zoo.hpp"
 #include "traffic/gravity.hpp"
@@ -22,8 +34,30 @@
 namespace dsdn::bench {
 
 inline bool full_scale() {
-  const char* env = std::getenv("DSDN_BENCH_SCALE");
-  return env && std::string(env) == "full";
+  // Computed once: benches consult this inside measured loops.
+  static const bool v = [] {
+    const char* env = std::getenv("DSDN_BENCH_SCALE");
+    return env && std::string(env) == "full";
+  }();
+  return v;
+}
+
+// Directory from DSDN_BENCH_JSON, or nullptr when artifacts are off.
+inline const char* bench_json_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("DSDN_BENCH_JSON");
+    return env ? std::string(env) : std::string();
+  }();
+  return dir.empty() ? nullptr : dir.c_str();
+}
+
+// Directory from DSDN_TRACE, or nullptr when span tracing is off.
+inline const char* bench_trace_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("DSDN_TRACE");
+    return env ? std::string(env) : std::string();
+  }();
+  return dir.empty() ? nullptr : dir.c_str();
 }
 
 struct Workload {
@@ -90,5 +124,69 @@ inline void banner(const char* what) {
   std::printf("%s\n", what);
   std::printf("==============================================================\n");
 }
+
+// The standard workload banner every per-figure bench prints.
+inline void print_workload(const Workload& w, const char* note = nullptr) {
+  std::printf("workload: %zu nodes, %zu links, %zu demands%s%s\n\n",
+              w.topo.num_nodes(), w.topo.num_links(), w.tm.size(),
+              note ? " " : "", note ? note : "");
+}
+
+// RAII run artifact: collects params/metrics/series during the bench and,
+// on destruction, attaches the metrics-registry delta for the run and
+// writes BENCH_<name>.json / TRACE_<name>.json per the env switches.
+class BenchRun {
+ public:
+  explicit BenchRun(const char* name) : artifact_(name) {
+    baseline_ = obs::Registry::global().snapshot();
+    artifact_.param("scale", std::string(full_scale() ? "full" : "quick"));
+    if (bench_trace_dir()) obs::Tracer::global().enable();
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  void workload(const Workload& w) {
+    artifact_.param("nodes", w.topo.num_nodes());
+    artifact_.param("links", w.topo.num_links());
+    artifact_.param("demands", w.tm.size());
+  }
+
+  obs::RunArtifact& out() { return artifact_; }
+
+  ~BenchRun() {
+    artifact_.attach_registry(
+        obs::Registry::global().snapshot().diff(baseline_));
+    if (const char* dir = bench_json_dir()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (artifact_.write(dir)) {
+        std::printf("\n[bench] wrote %s/%s\n", dir,
+                    artifact_.file_name().c_str());
+      } else {
+        std::fprintf(stderr, "[bench] FAILED to write %s/%s\n", dir,
+                     artifact_.file_name().c_str());
+      }
+    }
+    if (const char* dir = bench_trace_dir()) {
+      auto& tracer = obs::Tracer::global();
+      tracer.disable();
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      const std::string path =
+          std::string(dir) + "/TRACE_" + artifact_.name() + ".json";
+      if (tracer.write_chrome_trace(path)) {
+        std::printf("[bench] wrote %s (%zu spans, %zu dropped)\n",
+                    path.c_str(), tracer.events().size(), tracer.dropped());
+      } else {
+        std::fprintf(stderr, "[bench] FAILED to write %s\n", path.c_str());
+      }
+    }
+  }
+
+ private:
+  obs::RunArtifact artifact_;
+  obs::Snapshot baseline_;
+};
 
 }  // namespace dsdn::bench

@@ -38,11 +38,13 @@ int main() {
       "Figure 8: convergence components on B4 -- cSDN vs dSDN\n"
       "(dSDN Tcomp measured from real solver runs, router-CPU scaled)");
 
+  bench::BenchRun run("fig08_convergence_components");
   const auto w = bench::b4_workload();
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
+  run.workload(w);
 
   const std::size_t n_events = bench::full_scale() ? 400 : 150;
+  run.out().param("n_events", n_events);
 
   // Tcomp is the same algorithm on the same inputs for both schemes;
   // measure it once on this host, then scale: x1 for the datacenter
@@ -85,5 +87,18 @@ int main() {
   std::printf("dSDN  %s\n", bench::dist_row(dsdn.total).c_str());
   std::printf("  => cSDN/dSDN mean ratio: %.0fx (paper: 120-150x)\n",
               csdn.total.mean() / dsdn.total.mean());
+
+  run.out().series("csdn.tprop_s", csdn.tprop);
+  run.out().series("dsdn.tprop_s", dsdn.tprop);
+  run.out().series("csdn.tcomp_s", csdn.tcomp);
+  run.out().series("dsdn.tcomp_s", dsdn.tcomp);
+  run.out().series("csdn.tprog_s", csdn.tprog);
+  run.out().series("dsdn.tprog_s", dsdn.tprog);
+  run.out().series("csdn.total_s", csdn.total);
+  run.out().series("dsdn.total_s", dsdn.total);
+  run.out().metric("tprop_ratio", csdn.tprop.mean() / dsdn.tprop.mean());
+  run.out().metric("tcomp_ratio", dsdn.tcomp.mean() / csdn.tcomp.mean());
+  run.out().metric("tprog_ratio", csdn.tprog.mean() / dsdn.tprog.mean());
+  run.out().metric("total_ratio", csdn.total.mean() / dsdn.total.mean());
   return 0;
 }

@@ -14,11 +14,13 @@ using namespace dsdn;
 int main() {
   bench::banner("Figure 9: total convergence in B2 -- RSVP-TE vs dSDN");
 
+  bench::BenchRun run("fig09_b2_convergence");
   auto w = bench::b2_workload(/*target_util=*/1.25);
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
+  run.workload(w);
 
   const std::size_t n_events = bench::full_scale() ? 40 : 12;
+  run.out().param("n_events", n_events);
 
   // ---- RSVP-TE: real signaling simulation ----
   rsvp::RsvpParams rp;
@@ -103,5 +105,13 @@ int main() {
     std::printf("%4.0f%%     %s\n", loss * 100,
                 bench::dist_row(lossy.total).c_str());
   }
+
+  run.out().param("established_lsps", established);
+  run.out().metric("rsvp.crankbacks", static_cast<double>(total_crankbacks));
+  run.out().series("rsvp.total_s", rsvp_conv);
+  run.out().series("dsdn.total_s", dsdn.total);
+  run.out().series("dsdn.router_tcomp_s", router_tcomp);
+  run.out().metric("median_ratio",
+                   rsvp_conv.median() / dsdn.total.median());
   return 0;
 }

@@ -15,8 +15,7 @@ int main() {
       "Figure 10: bad seconds per event, by scheme and priority class");
 
   const auto w = bench::b4_workload(/*target_util=*/1.1);
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
 
   sim::TransientConfig base;
   base.failures.days = bench::full_scale() ? 1000 : 150;

@@ -13,8 +13,7 @@ int main() {
                 "(P-intermediate)");
 
   const auto w = bench::b4_workload(/*target_util=*/1.1);
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
 
   sim::SolutionProvider provider(&w.tm, {});
 

@@ -27,13 +27,16 @@ using namespace dsdn;
 int main() {
   bench::banner("Figure 13: Tcomp vs number of cores (B2)");
 
+  bench::BenchRun run("fig13_cores");
   const auto w = bench::b2_workload();
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
+  run.workload(w);
 
   const std::size_t hw = std::max<std::size_t>(
       1, std::thread::hardware_concurrency());
   const std::size_t runs = bench::full_scale() ? 5 : 3;
+  run.out().param("hw_threads", hw);
+  run.out().param("runs", runs);
 
   // Per-call dispatch overhead of parallel_for on a tiny index space --
   // the persistent pool's replacement for the seed's per-call thread
@@ -56,6 +59,7 @@ int main() {
     std::printf("parallel_for dispatch overhead (n=8, 8-thread pool): "
                 "%.1f us/call\n\n",
                 per_call * 1e6);
+    run.out().metric("dispatch_overhead_us", per_call * 1e6);
   }
 
   // Measure at each available thread count, sharing one persistent pool
@@ -102,6 +106,7 @@ int main() {
                 hw < 8 ? " (oversubscribed)" : "",
                 util::format_duration(best).c_str(), runs);
     std::printf("%s\n", core::render_pool_stats(pool.stats()).c_str());
+    run.out().metric("tcomp_8thread_best_s", best);
   }
 
   // Fit Amdahl T(n) = serial + parallel/n to the *measured* points: the
@@ -177,5 +182,12 @@ int main() {
       "%zu cores (paper: flattens ~5); router/server ratio %.2fx at every "
       "point (paper: faster cores improve Tcomp up to ~41%%)\n",
       flat_at, 1.0 / metrics::kRouterCpuSpeedRatio);
+
+  for (const auto& [n, t] : measured) {
+    run.out().metric("tcomp_server_s." + std::to_string(n) + "core", t);
+  }
+  run.out().metric("serial_share",
+                   serial_time / (serial_time + parallel_time));
+  run.out().metric("flattens_at_cores", static_cast<double>(flat_at));
   return 0;
 }

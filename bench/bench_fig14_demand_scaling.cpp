@@ -21,9 +21,10 @@ using namespace dsdn;
 int main() {
   bench::banner("Figure 14: Tcomp vs traffic-demand multiplier (B2)");
 
+  bench::BenchRun run("fig14_demand_scaling");
   const auto w = bench::b2_workload();
-  std::printf("workload: %zu nodes, %zu links, %zu demands (at 1.0x)\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w, "(at 1.0x)");
+  run.workload(w);
 
   double max_rate = 0;
   for (const auto& d : w.tm.demands())
@@ -50,10 +51,14 @@ int main() {
                 util::format_duration(router).c_str(), stats.rounds);
     if (m == multipliers[0]) first = server;
     last = server;
+    char key[48];
+    std::snprintf(key, sizeof(key), "tcomp_server_s.%.2fx", m);
+    run.out().metric(key, server);
   }
   std::printf("\nshape check: 2.0x demand costs %.1fx the 0.25x solve "
               "(paper: roughly linear growth, still under the RSVP-TE "
               "convergence threshold at 2x)\n",
               last / first);
+  run.out().metric("growth_2x_over_quarter", last / first);
   return 0;
 }

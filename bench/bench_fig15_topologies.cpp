@@ -64,7 +64,10 @@ int main() {
          std::move(w.tm)});
   }
 
+  bench::BenchRun run("fig15_topologies");
   const std::size_t runs = bench::full_scale() ? 5 : 2;
+  run.out().param("runs", runs);
+  run.out().param("topologies", rows.size());
   std::printf("%-16s %7s  %14s  %14s  %8s  %10s  %8s\n", "topology",
               "nodes", "no cache", "with cache", "speedup", "cache hit%",
               "repair%");
@@ -92,7 +95,9 @@ int main() {
                 util::format_duration(plain).c_str(),
                 util::format_duration(cached).c_str(), speedup, hit_rate,
                 repair_rate);
+    run.out().metric("cache_speedup." + row.name, speedup);
   }
+  run.out().metric("largest_cache_speedup", largest_speedup);
   std::printf(
       "\nshape check: caching speeds up TE, growing with topology size, "
       "best %.2fx.\n(paper: up to 2.5x on the largest topology -- our "

@@ -14,8 +14,7 @@ int main() {
   bench::banner("Figure 20: bad seconds with and without bypasses");
 
   const auto w = bench::b4_workload(/*target_util=*/1.1);
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
 
   sim::TransientConfig base;
   base.failures.days = bench::full_scale() ? 365 : 100;

@@ -6,10 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 
 #include "core/controller.hpp"
 #include "core/nsu.hpp"
 #include "dataplane/fib.hpp"
+#include "metrics/distribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "te/parallel_solver.hpp"
 #include "dataplane/label.hpp"
@@ -231,6 +235,83 @@ void BM_NsuHandle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NsuHandle);
+
+void BM_PercentileSweep(benchmark::State& state) {
+  // The bench reporting hot path: many percentile queries against one
+  // distribution. The sorted cache makes the sweep sort-once; before the
+  // incremental cache each query after any add() re-sorted all samples.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  metrics::EmpiricalDistribution d;
+  std::uint64_t x = 0x243F6A8885A308D3ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    d.add(static_cast<double>(x % 100000) * 1e-5);
+  }
+  const double ps[] = {1, 2, 5, 10, 25, 50, 75, 90, 95, 98, 99, 99.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.percentiles(ps));
+  }
+}
+BENCHMARK(BM_PercentileSweep)->Arg(1000)->Arg(100000);
+
+void BM_PercentileAfterAppend(benchmark::State& state) {
+  // Interleaved add+query (the transient sim's pattern): the incremental
+  // tail merge keeps this O(sorted tail) instead of O(n log n) per query.
+  metrics::EmpiricalDistribution d;
+  double v = 0.5;
+  for (auto _ : state) {
+    v = v * 1664525.0 + 1013904223.0;
+    v -= std::floor(v);
+    d.add(v);
+    benchmark::DoNotOptimize(d.percentile(99));
+  }
+}
+BENCHMARK(BM_PercentileAfterAppend);
+
+void BM_CounterInc(benchmark::State& state) {
+  // One sharded-counter increment: the price of a metric on a hot path.
+  static obs::Counter& c =
+      obs::Registry::global().counter("bench.counter_inc");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "bench.histogram_record", obs::default_time_bounds_s());
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 10.0 ? v * 1.01 : 1e-6;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  // A span with the tracer off: one relaxed load, no clock reads.
+  obs::Tracer::global().disable();
+  for (auto _ : state) {
+    DSDN_TRACE_SPAN("bench.span");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::global().enable(1 << 10);
+  for (auto _ : state) {
+    DSDN_TRACE_SPAN("bench.span");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_Solve_Abilene(benchmark::State& state) {
   const auto t = topo::make_abilene();

@@ -92,8 +92,7 @@ int main() {
   // A hot network makes FRR congestion visible (these are the paper's
   // "performance alert" scenarios).
   auto w = bench::b4_workload(/*target_util=*/0.95);
-  std::printf("workload: %zu nodes, %zu links, %zu demands\n\n",
-              w.topo.num_nodes(), w.topo.num_links(), w.tm.size());
+  bench::print_workload(w);
 
   const auto solution = te::Solver().solve(w.topo, w.tm);
   const auto routing = sim::InstalledRouting::from_solution(solution);

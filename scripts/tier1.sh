@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the concurrency
-# suites (thread pool, event queue) again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, the concurrency suites
+# (thread pool, event queue, metrics shards) again under ThreadSanitizer,
+# the obs/metrics suites under UBSan, the wire fuzz corpus under ASan,
+# and a bench-artifact run validated against scripts/bench_schema.json.
 #
 #   scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -13,10 +15,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "==> tier-1: TSan build (build-tsan/) -- test_parallel + test_sim"
+echo "==> tier-1: bench artifact (build/) -- DSDN_BENCH_JSON schema check"
+ARTIFACT_DIR="build/bench-artifacts"
+rm -rf "${ARTIFACT_DIR}"
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_fig08_convergence_components >/dev/null
+python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
+
+echo "==> tier-1: TSan build (build-tsan/) -- test_parallel + test_sim + test_obs"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim
-(cd build-tsan && ctest --output-on-failure -R '^(test_parallel|test_sim)$')
+cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim test_obs
+(cd build-tsan && ctest --output-on-failure -R '^(test_parallel|test_sim|test_obs)$')
+
+echo "==> tier-1: UBSan build (build-ubsan/) -- test_obs + test_metrics"
+cmake -B build-ubsan -S . -DDSDN_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "${JOBS}" --target test_obs test_metrics
+(cd build-ubsan && ctest --output-on-failure -R '^(test_obs|test_metrics)$')
 
 echo "==> tier-1: ASan build (build-asan/) -- wire fuzz corpus + fault injection"
 cmake -B build-asan -S . -DDSDN_SANITIZE=address -DDSDN_FUZZ=ON >/dev/null

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run artifacts against scripts/bench_schema.json.
+
+Usage: validate_bench_json.py [--schema SCHEMA] FILE [FILE...]
+
+Implements the small JSON-Schema subset the schema file uses (type,
+required, properties, additionalProperties, items, minimum, $ref into
+#/definitions) so tier-1 needs nothing beyond the python3 stdlib.
+Exits non-zero and prints one line per violation if any file fails.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from numeric types.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def resolve_ref(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path, errors):
+    schema = resolve_ref(schema, root)
+
+    stype = schema.get("type")
+    if stype is not None:
+        allowed = stype if isinstance(stype, list) else [stype]
+        if not any(TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path}: expected {'/'.join(allowed)}, "
+                f"got {type(value).__name__}")
+            return  # structural checks below would just cascade
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key '{req}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], root, f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--schema",
+                    default=Path(__file__).with_name("bench_schema.json"))
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    failed = False
+    for name in args.files:
+        try:
+            with open(name) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {name}: {e}")
+            failed = True
+            continue
+        errors = []
+        validate(doc, schema, schema, "$", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {name}:")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"OK   {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace dsdn::core {
 
 Controller::Controller(const ControllerConfig& config,
@@ -60,6 +62,7 @@ FloodDirective Controller::handle_nsu(const NodeStateUpdate& nsu,
 }
 
 Controller::RecomputeResult Controller::recompute() {
+  DSDN_TRACE_SPAN("ctrl.recompute");
   Pathing pathing(config_.self, solve_api_.get());
   PathingResult pr = pathing.compute(state_);
   RecomputeResult result;
@@ -67,6 +70,12 @@ Controller::RecomputeResult Controller::recompute() {
   result.own_allocations = pr.own.size();
   programmer_.program_prefixes(state_, hw_);
   result.encap = programmer_.program_encap(pr.own, hw_);
+  ++recomputes_;
+  encap_totals_.routes_installed += result.encap.routes_installed;
+  encap_totals_.routes_too_deep += result.encap.routes_too_deep;
+  encap_totals_.install_retries += result.encap.install_retries;
+  encap_totals_.routes_gave_up += result.encap.routes_gave_up;
+  encap_totals_.retry_time_s += result.encap.retry_time_s;
   if (config_.program_bypasses) {
     result.bypasses = programmer_.program_bypasses(
         state_.view(), pr.solution.residual_capacity(state_.view()),

@@ -69,6 +69,16 @@ class Controller {
   RecomputeResult recompute();
 
   const StateDb& state() const { return state_; }
+
+  // Programming accounting accumulated over every recompute() in this
+  // controller's lifetime (per-call numbers are in RecomputeResult).
+  // collect_status reports these, so "show dsdn status" surfaces install
+  // retries/give-ups instead of silently dropping them.
+  const Programmer::EncapReport& encap_totals() const {
+    return encap_totals_;
+  }
+  std::size_t recomputes() const { return recomputes_; }
+
   const dataplane::RouterDataplane& dataplane() const { return hw_; }
   dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
   Bus& bus() { return bus_; }
@@ -99,6 +109,8 @@ class Controller {
   Programmer programmer_;
   dataplane::RouterDataplane hw_;
   bool transit_programmed_ = false;
+  Programmer::EncapReport encap_totals_;
+  std::size_t recomputes_ = 0;
 };
 
 }  // namespace dsdn::core

@@ -2,9 +2,19 @@
 
 #include <sstream>
 
+#include "obs/export.hpp"
 #include "util/format.hpp"
 
 namespace dsdn::core {
+
+namespace {
+
+std::uint64_t counter_or_zero(const obs::Snapshot& s, const char* name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
 
 ControllerStatus collect_status(const Controller& controller) {
   ControllerStatus s;
@@ -27,7 +37,27 @@ ControllerStatus collect_status(const Controller& controller) {
   s.encap_entries = hw.ingress.num_encap_entries();
   s.transit_entries = hw.transit.size();
   s.protected_links = hw.bypass.num_protected_links();
+  const auto& encap = controller.encap_totals();
+  s.recomputes = controller.recomputes();
+  s.routes_installed = encap.routes_installed;
+  s.install_retries = encap.install_retries;
+  s.installs_gave_up = encap.routes_gave_up;
+  s.routes_too_deep = encap.routes_too_deep;
   return s;
+}
+
+void merge_flood_counters(ControllerStatus& s,
+                          const obs::Snapshot& host_metrics) {
+  s.flood_transmissions =
+      counter_or_zero(host_metrics, "flood.transmissions");
+  s.flood_retransmits = counter_or_zero(host_metrics, "flood.retransmits");
+  s.flood_gave_up = counter_or_zero(host_metrics, "flood.gave_up");
+  s.flood_decode_errors =
+      counter_or_zero(host_metrics, "flood.decode_errors");
+}
+
+std::string render_metrics(const obs::Snapshot& snapshot) {
+  return obs::to_text(snapshot);
 }
 
 std::string render_status(const ControllerStatus& s,
@@ -47,6 +77,13 @@ std::string render_status(const ControllerStatus& s,
   os << "  FIBs            : " << s.prefixes << " prefixes, "
      << s.encap_entries << " encap groups, " << s.transit_entries
      << " transit labels, " << s.protected_links << " FRR-protected links\n";
+  os << "  programming     : " << s.recomputes << " recomputes, "
+     << s.routes_installed << " routes installed, " << s.install_retries
+     << " retries, " << s.installs_gave_up << " gave up, "
+     << s.routes_too_deep << " too deep\n";
+  os << "  flooding        : " << s.flood_transmissions << " transmissions, "
+     << s.flood_retransmits << " retransmits, " << s.flood_gave_up
+     << " gave up, " << s.flood_decode_errors << " decode errors\n";
   return os.str();
 }
 
@@ -83,7 +120,7 @@ std::string render_fleet_digest(
     os << "  r" << util::pad_left(std::to_string(s.self), 4) << "  digest="
        << std::hex << (s.view_digest >> 40) << std::dec << "..  heard="
        << s.origins_heard << "  encap=" << s.encap_entries << "  frr="
-       << s.protected_links << "\n";
+       << s.protected_links << "  retries=" << s.install_retries << "\n";
   }
   return os.str();
 }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/controller.hpp"
+#include "obs/metrics.hpp"
 #include "te/parallel_solver.hpp"
 
 namespace dsdn::core {
@@ -26,9 +27,33 @@ struct ControllerStatus {
   std::size_t encap_entries = 0;
   std::size_t transit_entries = 0;
   std::size_t protected_links = 0;
+  // Programming accounting (PR 2's retry/give-up counters), from the
+  // controller's lifetime totals.
+  std::size_t recomputes = 0;
+  std::size_t routes_installed = 0;
+  std::size_t install_retries = 0;
+  std::size_t installs_gave_up = 0;
+  std::size_t routes_too_deep = 0;
+  // Flooding-plane accounting (PR 2's retransmit counters). The flooder
+  // is host-owned (the emulation transport), so these arrive via
+  // merge_flood_counters() from the host's metrics registry; zero when
+  // no host registry was merged.
+  std::size_t flood_transmissions = 0;
+  std::size_t flood_retransmits = 0;
+  std::size_t flood_gave_up = 0;
+  std::size_t flood_decode_errors = 0;
 };
 
 ControllerStatus collect_status(const Controller& controller);
+
+// Fills the flood_* fields from the "flood.*" counters of the hosting
+// transport's registry (e.g. DsdnEmulation::obs()).
+void merge_flood_counters(ControllerStatus& status,
+                          const obs::Snapshot& host_metrics);
+
+// Operator rendering of a full registry snapshot ("show dsdn metrics");
+// thin alias of obs::to_text so every surface prints metrics one way.
+std::string render_metrics(const obs::Snapshot& snapshot);
 
 // Multi-line human-readable rendering ("show dsdn status").
 std::string render_status(const ControllerStatus& status,

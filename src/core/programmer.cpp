@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "dataplane/label.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dsdn::core {
 
@@ -29,6 +31,13 @@ Programmer::EncapReport Programmer::program_encap(
     const std::vector<te::Allocation>& own, dataplane::RouterDataplane& hw,
     const ProgramRetryPolicy& policy, const InstallGate& gate,
     util::Rng* rng) const {
+  DSDN_TRACE_SPAN("program.encap");
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_installed = reg.counter("program.routes_installed");
+  static obs::Counter& m_too_deep = reg.counter("program.routes_too_deep");
+  static obs::Counter& m_retries = reg.counter("program.retries");
+  static obs::Counter& m_gave_up = reg.counter("program.gave_up");
+  static obs::Histogram& m_retry_time = reg.histogram("program.retry_time_s");
   EncapReport report;
   hw.ingress.clear_routes();
   std::size_t op_index = 0;
@@ -72,6 +81,11 @@ Programmer::EncapReport Programmer::program_encap(
       hw.ingress.set_routes(a.demand.dst, a.demand.priority, std::move(entry));
     }
   }
+  m_installed.add(report.routes_installed);
+  m_too_deep.add(report.routes_too_deep);
+  m_retries.add(report.install_retries);
+  m_gave_up.add(report.routes_gave_up);
+  if (report.retry_time_s > 0.0) m_retry_time.record(report.retry_time_s);
   return report;
 }
 

@@ -15,20 +15,21 @@ EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
 
 void EmpiricalDistribution::add(double sample) {
   samples_.push_back(sample);
-  sorted_valid_ = false;
 }
 
 void EmpiricalDistribution::add_all(std::span<const double> samples) {
   samples_.insert(samples_.end(), samples.begin(), samples.end());
-  sorted_valid_ = false;
 }
 
 void EmpiricalDistribution::ensure_sorted() const {
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
-  }
+  // Samples are append-only, so the cache only ever needs the new tail:
+  // sort it and merge it into the already-sorted prefix.
+  if (sorted_merged_ == samples_.size()) return;
+  const auto merged = static_cast<std::ptrdiff_t>(sorted_.size());
+  sorted_.insert(sorted_.end(), samples_.begin() + merged, samples_.end());
+  std::sort(sorted_.begin() + merged, sorted_.end());
+  std::inplace_merge(sorted_.begin(), sorted_.begin() + merged, sorted_.end());
+  sorted_merged_ = samples_.size();
 }
 
 double EmpiricalDistribution::min() const {
@@ -68,6 +69,14 @@ double EmpiricalDistribution::percentile(double p) const {
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<double> EmpiricalDistribution::percentiles(
+    std::span<const double> ps) const {
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(percentile(p));
+  return out;
 }
 
 double EmpiricalDistribution::cdf(double x) const {

@@ -39,6 +39,12 @@ class EmpiricalDistribution {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  // Batch percentile sweep: one sorted-cache validation for the whole
+  // query set (the fast path behind dist_row / run-artifact series,
+  // benchmark-visible as BM_PercentileSweep). Returns one value per
+  // entry of `ps`, each as percentile() would.
+  std::vector<double> percentiles(std::span<const double> ps) const;
+
   // Fraction of samples <= x.
   double cdf(double x) const;
 
@@ -58,8 +64,13 @@ class EmpiricalDistribution {
   void ensure_sorted() const;
 
   std::vector<double> samples_;
+  // Sorted cache, maintained incrementally: samples_[0..sorted_merged_)
+  // are already merged into sorted_; a query sorts only the appended
+  // tail and merges it in, so interleaved add()/percentile() sequences
+  // (the simulators' per-event reporting pattern) cost
+  // O(tail log tail + n) per query instead of a full re-sort.
   mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  mutable std::size_t sorted_merged_ = 0;
 };
 
 }  // namespace dsdn::metrics

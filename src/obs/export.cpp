@@ -1,0 +1,92 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/format.hpp"
+
+namespace dsdn::obs {
+
+std::string to_json(const Snapshot& s) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : s.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : s.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : s.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+double histogram_quantile(const HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const std::uint64_t in_bucket = h.counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double lo = b == 0 ? 0.0 : h.bounds[b - 1];
+      if (b >= h.bounds.size()) return lo;  // overflow bucket: lower bound
+      const double hi = h.bounds[b];
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+std::string to_text(const Snapshot& s) {
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& [name, v] : s.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : s.gauges) width = std::max(width, name.size());
+  for (const auto& [name, h] : s.histograms)
+    width = std::max(width, name.size());
+  for (const auto& [name, v] : s.counters) {
+    os << util::pad_right(name, width) << "  " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    os << util::pad_right(name, width) << "  " << util::format_double(v, 3)
+       << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    os << util::pad_right(name, width) << "  n=" << h.count;
+    if (h.count > 0) {
+      os << " mean=" << util::format_double(h.sum / h.count, 6)
+         << " ~p50=" << util::format_double(histogram_quantile(h, 0.50), 6)
+         << " ~p90=" << util::format_double(histogram_quantile(h, 0.90), 6)
+         << " ~p99=" << util::format_double(histogram_quantile(h, 0.99), 6);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsdn::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+// Snapshot exporters: JSON for machines (run artifacts, the tier-1
+// schema check), plaintext for operators ("show dsdn metrics"). Both
+// render the identical Snapshot, so every reporting surface reads from
+// one source of truth.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dsdn::obs {
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+// "counts":[...],"count":N,"sum":S}}}. Keys sorted (std::map order),
+// output deterministic for golden tests.
+std::string to_json(const Snapshot& snapshot);
+
+// Aligned "name value" lines grouped by kind; histograms render count,
+// mean, and an approximate p50/p90/p99 interpolated within buckets.
+std::string to_text(const Snapshot& snapshot);
+
+// Approximate quantile (q in [0,1]) from histogram buckets: linear
+// interpolation inside the containing bucket; the overflow bucket
+// reports its lower bound. Returns 0 for an empty histogram.
+double histogram_quantile(const HistogramData& h, double q);
+
+}  // namespace dsdn::obs

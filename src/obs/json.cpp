@@ -1,0 +1,128 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dsdn::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows its key
+  }
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (need_comma_.back()) out_ += ',';
+  need_comma_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest representation that round-trips: try increasing precision.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back;
+    if (std::sscanf(buf, "%lf", &back) == 1 && back == v) break;
+  }
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+}  // namespace dsdn::obs

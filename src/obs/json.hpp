@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal streaming JSON writer for the observability exporters (machine
+// artifacts, chrome traces, registry snapshots). Emits compact,
+// deterministic output: keys in the order written, doubles via shortest
+// round-trip %.17g-style formatting, non-finite doubles as null. No
+// external dependency, no DOM.
+//
+// Correct nesting is the caller's responsibility; the writer asserts the
+// basics (a value must follow a key inside an object) in debug builds
+// only via its internal state -- misuse yields malformed JSON rather
+// than UB.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsdn::obs {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  // One-shot helpers: key + value.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  std::string str() && { return std::move(out_); }
+  const std::string& str() const& { return out_; }
+
+ private:
+  void comma_if_needed();
+  void raw(std::string_view s) { out_.append(s); }
+
+  std::string out_;
+  // true = a value has already been written at this nesting level (a
+  // comma is due before the next element).
+  std::vector<bool> need_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace dsdn::obs

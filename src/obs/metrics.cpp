@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsdn::obs {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(std::string name, std::span<const double> upper_bounds)
+    : name_(std::move(name)),
+      bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram '" + name_ +
+                                "': bounds must be strictly increasing");
+  }
+  n_cells_ = bounds_.size() + 1;
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(kShards * n_cells_);
+  for (std::size_t i = 0; i < kShards * n_cells_; ++i) cells_[i] = 0;
+}
+
+void Histogram::record(double v) {
+  // Inclusive upper bounds (Prometheus "le"): v == bounds[b] lands in b.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = this_thread_shard();
+  cells_[shard * n_cells_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  counts_[shard].v.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sums_[shard].v, v);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.assign(n_cells_, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < n_cells_; ++b) {
+      d.counts[b] += cells_[s * n_cells_ + b].load(std::memory_order_relaxed);
+    }
+    d.count += counts_[s].v.load(std::memory_order_relaxed);
+    d.sum += sums_[s].v.load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < kShards * n_cells_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    counts_[s].v.store(0, std::memory_order_relaxed);
+    sums_[s].v.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::span<const double> default_time_bounds_s() {
+  static const double kBounds[] = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0,
+      20.0, 50.0, 100.0};
+  return kBounds;
+}
+
+// ---- Snapshot ----
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v = v >= it->second ? v - it->second : 0;
+  }
+  for (auto& [name, h] : out.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    const HistogramData& e = it->second;
+    if (e.bounds != h.bounds) continue;  // re-registered differently: keep whole
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      h.counts[b] = h.counts[b] >= e.counts[b] ? h.counts[b] - e.counts[b] : 0;
+    }
+    h.count = h.count >= e.count ? h.count - e.count : 0;
+    h.sum -= e.sum;
+  }
+  return out;
+}
+
+// ---- Registry ----
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (gauges_.count(name) || histograms_.count(name)) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (counters_.count(name) || histograms_.count(name)) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (counters_.count(name) || gauges_.count(name)) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    const std::span<const double> bounds =
+        upper_bounds.empty() ? default_time_bounds_s() : upper_bounds;
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name), bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->data();
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // never destroyed: instrumentation
+  return *r;                            // may outlive static teardown order
+}
+
+}  // namespace dsdn::obs

@@ -1,0 +1,209 @@
+#pragma once
+
+// Unified metrics registry (the observability subsystem's data plane).
+//
+// The paper's evaluation decomposes every headline number into per-phase
+// counters -- Fig 8 splits convergence into detection/flooding/compute/
+// programming, Fig 13/14 profile solver CPU scaling -- so the repo needs
+// one place where hot paths can cheaply record what happened and the
+// reporting layers (introspection, benches, artifacts) can read it back.
+//
+// Design:
+//  - Named metrics with hierarchical dotted names ("te.solver.rounds",
+//    "flood.retransmits", "program.retries"). Registration (name lookup)
+//    takes a mutex and is done once per call site; recording through the
+//    returned handle is lock-free.
+//  - Hot-path recording is a relaxed atomic add on a per-thread *shard*
+//    (cache-line padded, thread -> shard by a stable per-thread slot), so
+//    concurrent writers do not bounce one cache line. Shards are merged
+//    on read (value() / snapshot()).
+//  - Snapshot / diff / reset: snapshot() captures every metric by value;
+//    Snapshot::diff(earlier) subtracts counters and histogram buckets
+//    (gauges keep the later value) so callers can meter one solve, one
+//    convergence run, or one bench out of a shared registry.
+//
+// Consistency: recording uses relaxed atomics and readers do not stop
+// writers, so a snapshot taken while threads are recording is a
+// per-metric-approximate view. Exact totals are guaranteed once the
+// writing threads have finished (joined or otherwise synchronized-with),
+// which is how the benches and tests use it.
+//
+// There is one process-global registry (Registry::global()) used by the
+// library's built-in instrumentation, and components that need
+// per-instance accounting (e.g. one DsdnEmulation among many in a test
+// binary) own a private Registry.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsdn::obs {
+
+// Number of per-metric shards. Threads map to shards by a stable
+// per-thread slot (round-robin at first use); more threads than shards
+// just share slots, which is still correct (atomics), merely contended.
+inline constexpr std::size_t kShards = 16;
+
+// Stable shard slot of the calling thread, in [0, kShards).
+std::size_t this_thread_shard();
+
+namespace detail {
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) PaddedF64 {
+  std::atomic<double> v{0.0};
+};
+// Relaxed add for pre-C++20-fetch_add-on-double toolchains.
+inline void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+// Monotonic event count. add() is a relaxed fetch_add on the caller's
+// shard; value() sums the shards.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) {
+    shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  detail::PaddedU64 shards_[kShards];
+};
+
+// Last-writer-wins scalar (queue depth, worker count, config knobs).
+// add() is a CAS loop; gauges are not meant for per-item hot loops.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramData {
+  // Upper bounds of the finite buckets; counts has bounds.size() + 1
+  // entries, the last being the overflow (+inf) bucket.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+// Fixed-bucket histogram. record() finds the bucket (binary search over
+// the immutable bounds) and does one relaxed fetch_add on the caller's
+// shard, plus a CAS add into the shard's sum.
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const double> upper_bounds);
+
+  void record(double v);
+
+  HistogramData data() const;  // shards merged
+  std::uint64_t count() const { return data().count; }
+  void reset();
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;  // sorted, strictly increasing
+  std::size_t n_cells_;         // bounds_.size() + 1
+  // Shard-major bucket counts: shard s, bucket b -> cells_[s*n_cells_+b].
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  detail::PaddedF64 sums_[kShards];
+  detail::PaddedU64 counts_[kShards];
+};
+
+// Default histogram bounds for durations in seconds: 1us .. 100s,
+// roughly 3 buckets per decade.
+std::span<const double> default_time_bounds_s();
+
+// Point-in-time capture of a registry; plain data, safe to copy, diff,
+// and export after the registry (or its writers) moved on.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  // this - earlier, for metering an interval: counters and histogram
+  // buckets subtract (clamped at 0 so a mid-interval reset() cannot
+  // produce wrapped values); gauges keep this snapshot's value. Metrics
+  // absent from `earlier` are kept whole.
+  Snapshot diff(const Snapshot& earlier) const;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  bool operator==(const Snapshot&) const = default;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create by name. Handles are stable for the registry's
+  // lifetime; call sites cache the reference (e.g. a function-local
+  // static for the global registry). Registering the same name as two
+  // different metric kinds throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `upper_bounds` empty = default_time_bounds_s(). The first
+  // registration fixes the bounds; later calls ignore theirs.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds = {});
+
+  Snapshot snapshot() const;
+  // Zeroes every metric's value; registrations (and handles) survive.
+  void reset();
+
+  // The process-global registry used by built-in instrumentation.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dsdn::obs

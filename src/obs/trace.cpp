@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace dsdn::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // never destroyed (see Registry::global)
+  return *t;
+}
+
+std::uint64_t Tracer::now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  capacity_.store(ring_capacity == 0 ? 1 : ring_capacity,
+                  std::memory_order_relaxed);
+  clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  rings_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  struct Tls {
+    Tracer* owner = nullptr;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<Ring> ring;
+  };
+  thread_local Tls tls;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (tls.owner != this || tls.epoch != epoch) {
+    auto ring = std::make_shared<Ring>();
+    ring->buf.resize(capacity_.load(std::memory_order_relaxed));
+    {
+      std::lock_guard<std::mutex> lk(rings_mu_);
+      ring->tid = next_tid_++;
+      rings_.push_back(ring);
+    }
+    tls = {this, epoch, std::move(ring)};
+  }
+  return *tls.ring;
+}
+
+void Tracer::record(const char* name, std::uint64_t begin_ns,
+                    std::uint64_t end_ns) {
+  Ring& ring = ring_for_this_thread();
+  std::lock_guard<std::mutex> lk(ring.mu);
+  ring.buf[ring.next] = SpanEvent{name, begin_ns, end_ns, ring.tid};
+  ring.next = (ring.next + 1) % ring.buf.size();
+  ++ring.total;
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    const std::size_t kept =
+        std::min<std::uint64_t>(ring->total, ring->buf.size());
+    // Oldest kept span sits at `next` once the ring has wrapped.
+    const std::size_t start = ring->total > ring->buf.size() ? ring->next : 0;
+    for (std::size_t i = 0; i < kept; ++i) {
+      out.push_back(ring->buf[(start + i) % ring->buf.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              // Equal begins: parents (larger spans) first, so nesting
+              // renders stably in trace viewers.
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.end_ns > b.end_ns;
+            });
+  return out;
+}
+
+std::size_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += ring->total;
+  }
+  return total;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::size_t dropped = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    if (ring->total > ring->buf.size()) dropped += ring->total - ring->buf.size();
+  }
+  return dropped;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanEvent> evs = events();
+  std::uint64_t t0 = evs.empty() ? 0 : evs.front().begin_ns;
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const SpanEvent& e : evs) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(static_cast<double>(e.begin_ns - t0) / 1e3);
+    w.key("dur");
+    w.value(static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{e.tid});
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace dsdn::obs

@@ -1,0 +1,126 @@
+#pragma once
+
+// Low-overhead span tracer: DSDN_TRACE_SPAN("te.waterfill") records a
+// begin/end pair into a per-thread ring buffer, exportable as a
+// chrome://tracing JSON ("Trace Event Format", ph:"X" complete events)
+// for flame-style inspection of a solve or a convergence run.
+//
+// Cost model:
+//  - Tracer disabled (the default): a span is one relaxed atomic load.
+//  - Tracer enabled: two steady_clock reads plus one ring push under an
+//    uncontended per-thread mutex (the mutex exists so export can run
+//    while other threads still trace; it is never shared across
+//    recording threads).
+//  - Compiled out: building a TU with -DDSDN_OBS_DISABLED expands
+//    DSDN_TRACE_SPAN to ((void)0) -- zero code, zero data, no tracer
+//    reference. The class definitions are unchanged either way, so mixed
+//    TUs link cleanly (no ODR hazard).
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// the ring stores the pointer, not a copy.
+//
+// Ring wraparound: each thread's ring holds the most recent `capacity`
+// spans; older ones are overwritten and counted in dropped().
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsdn::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;  // steady clock, process-relative
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  // tracer-assigned thread index (stable per ring)
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // Starts recording. Drops any previously recorded spans and applies
+  // `ring_capacity` (spans kept per thread) to every thread's ring.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded spans (rings stay registered).
+  void clear();
+
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+
+  // All recorded spans, merged across threads, ordered by begin time.
+  std::vector<SpanEvent> events() const;
+  std::size_t total_recorded() const;  // including overwritten
+  std::size_t dropped() const;         // overwritten by wraparound
+
+  // Trace Event Format JSON ({"traceEvents":[...]}), loadable in
+  // chrome://tracing or https://ui.perfetto.dev. Timestamps are
+  // microseconds relative to the earliest recorded span.
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  // Monotonic nanoseconds since the first call in this process.
+  static std::uint64_t now_ns();
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 15;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<SpanEvent> buf;  // size = capacity at registration
+    std::size_t next = 0;        // wraparound write cursor
+    std::uint64_t total = 0;     // spans ever pushed
+    std::uint32_t tid = 0;
+  };
+
+  Ring& ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{kDefaultRingCapacity};
+  // Bumped by clear()/enable(); threads with a stale epoch re-register,
+  // which is how capacity changes and clears reach thread-local rings.
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable std::mutex rings_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;  // kept alive past thread exit
+  std::uint32_t next_tid_ = 0;
+};
+
+// RAII span against the global tracer. Prefer the DSDN_TRACE_SPAN macro,
+// which the DSDN_OBS_DISABLED kill switch can compile away entirely.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Tracer::global().enabled()) {
+      name_ = name;
+      begin_ns_ = Tracer::now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_) Tracer::global().record(name_, begin_ns_, Tracer::now_ns());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null = tracer was disabled at entry
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace dsdn::obs
+
+#define DSDN_OBS_CONCAT_INNER(a, b) a##b
+#define DSDN_OBS_CONCAT(a, b) DSDN_OBS_CONCAT_INNER(a, b)
+
+#if defined(DSDN_OBS_DISABLED)
+// Kill switch: spans compile to nothing (valid in constexpr contexts,
+// proven by tests/obs_disabled_probe.cpp).
+#define DSDN_TRACE_SPAN(name) ((void)0)
+#else
+#define DSDN_TRACE_SPAN(name) \
+  ::dsdn::obs::ScopedSpan DSDN_OBS_CONCAT(dsdn_obs_span_, __LINE__)(name)
+#endif

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/trace.hpp"
 #include "topo/builder.hpp"
 
 namespace dsdn::sim {
@@ -124,6 +125,7 @@ std::vector<topo::LinkId> pick_failure_fibers(const topo::Topology& topo,
 
 ComponentDistributions measure_dsdn_convergence(
     const topo::Topology& topo, const DsdnConvergenceConfig& config) {
+  DSDN_TRACE_SPAN("sim.dsdn_convergence");
   util::Rng rng(config.seed);
   ComponentDistributions out;
   const auto fibers = pick_failure_fibers(topo, config.n_events,
@@ -163,6 +165,7 @@ ComponentDistributions measure_dsdn_convergence(
 ComponentDistributions measure_csdn_convergence(
     const topo::Topology& topo, const traffic::TrafficMatrix& tm,
     const CsdnConvergenceConfig& config) {
+  DSDN_TRACE_SPAN("sim.csdn_convergence");
   ComponentDistributions out;
   topo::Topology scratch = topo;
   csdn::CsdnController controller(&scratch, config.calib,

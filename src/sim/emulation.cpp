@@ -4,12 +4,20 @@
 #include <stdexcept>
 
 #include "core/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace dsdn::sim {
 
 DsdnEmulation::DsdnEmulation(topo::Topology topo, traffic::TrafficMatrix tm,
                              EmulationConfig config)
-    : topo_(std::move(topo)), tm_(std::move(tm)), config_(config) {
+    : topo_(std::move(topo)),
+      tm_(std::move(tm)),
+      config_(config),
+      c_transmissions_(obs_.counter("flood.transmissions")),
+      c_retransmits_(obs_.counter("flood.retransmits")),
+      c_gave_up_(obs_.counter("flood.gave_up")),
+      c_decode_errors_(obs_.counter("flood.decode_errors")),
+      c_nsu_bytes_(obs_.counter("flood.nsu_bytes")) {
   prefixes_ = topo::assign_router_prefixes(topo_);
   telemetry_ = std::make_unique<core::SimTelemetry>(&topo_, &tm_, prefixes_);
   controllers_.reserve(topo_.num_nodes());
@@ -56,7 +64,8 @@ void DsdnEmulation::flood(const core::FloodDirective& directive,
 void DsdnEmulation::transmit(
     std::shared_ptr<const std::vector<std::uint8_t>> bytes, topo::LinkId lid,
     int attempt) {
-  ++flood_stats_.transmissions;
+  c_transmissions_.inc();
+  c_nsu_bytes_.add(bytes->size());
   const topo::Link& l = topo_.link(lid);
   const double base_delay = l.delay_s + config_.nsu_process_s;
   auto deliver_payload =
@@ -65,7 +74,7 @@ void DsdnEmulation::transmit(
         queue_.schedule_in(delay, [this, payload, lid, corrupted] {
           const auto decoded = core::decode_nsu(*payload);
           if (!decoded) {
-            ++flood_stats_.decode_errors;
+            c_decode_errors_.inc();
             return;
           }
           // A garbled copy can still decode (flips in float payloads are
@@ -73,7 +82,7 @@ void DsdnEmulation::transmit(
           // the framing cannot, so it never reaches the StateDb either
           // way -- but the decoder was exercised on the garbled bytes.
           if (corrupted) {
-            ++flood_stats_.decode_errors;
+            c_decode_errors_.inc();
             return;
           }
           deliver(*decoded.nsu, lid);
@@ -105,14 +114,14 @@ void DsdnEmulation::transmit(
   // plus jitter -- bounded, so a dead link cannot retransmit forever.
   const FloodRetryPolicy& retry = config_.flood_retry;
   if (attempt >= retry.max_retransmits) {
-    ++flood_stats_.gave_up;
+    c_gave_up_.inc();
     return;
   }
   double backoff = retry.base_s * std::pow(retry.multiplier, attempt);
   if (retry.jitter > 0) {
     backoff *= 1.0 + faults_->uniform(lid, 0.0, retry.jitter);
   }
-  ++flood_stats_.retransmits;
+  c_retransmits_.inc();
   queue_.schedule_in(base_delay + backoff, [this, bytes, lid, attempt] {
     transmit(bytes, lid, attempt + 1);
   });
@@ -132,6 +141,7 @@ void DsdnEmulation::deliver(const core::NodeStateUpdate& nsu,
 }
 
 void DsdnEmulation::run_to_quiescence() {
+  DSDN_TRACE_SPAN("emu.flood");
   // 16M message budget: loop-free flooding over a connected graph always
   // terminates far below this; the cap turns a logic bug into an error.
   const std::size_t executed = queue_.run(16'000'000);
@@ -140,6 +150,7 @@ void DsdnEmulation::run_to_quiescence() {
 }
 
 void DsdnEmulation::recompute_dirty() {
+  DSDN_TRACE_SPAN("emu.recompute");
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     if (!dirty_[n]) continue;
     controllers_[n]->recompute();
@@ -148,6 +159,7 @@ void DsdnEmulation::recompute_dirty() {
 }
 
 void DsdnEmulation::bootstrap() {
+  DSDN_TRACE_SPAN("emu.bootstrap");
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     const auto directive = controllers_[n]->originate(telemetry_for(n));
     dirty_[n] = 1;
@@ -158,6 +170,7 @@ void DsdnEmulation::bootstrap() {
 }
 
 void DsdnEmulation::fail_fiber(topo::LinkId fiber) {
+  DSDN_TRACE_SPAN("emu.fail_fiber");
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
   topo_.set_duplex_up(fiber, false);
@@ -171,6 +184,7 @@ void DsdnEmulation::fail_fiber(topo::LinkId fiber) {
 }
 
 void DsdnEmulation::repair_fiber(topo::LinkId fiber) {
+  DSDN_TRACE_SPAN("emu.repair_fiber");
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
   topo_.set_duplex_up(fiber, true);
@@ -281,7 +295,28 @@ void DsdnEmulation::enable_fault_injection(
     const LinkFaultProfile& default_profile, std::uint64_t seed) {
   faults_ = std::make_unique<FaultyBus>(seed);
   faults_->set_default_profile(default_profile);
-  flood_stats_ = {};
+  // Fresh fault run, fresh flooding counters (bootstrap traffic from
+  // before the faults were enabled would drown the lossy-run numbers).
+  c_transmissions_.reset();
+  c_retransmits_.reset();
+  c_gave_up_.reset();
+  c_decode_errors_.reset();
+  c_nsu_bytes_.reset();
+}
+
+DsdnEmulation::FloodStats DsdnEmulation::flood_stats() const {
+  FloodStats s;
+  s.transmissions = c_transmissions_.value();
+  s.retransmits = c_retransmits_.value();
+  s.gave_up = c_gave_up_.value();
+  s.decode_errors = c_decode_errors_.value();
+  return s;
+}
+
+core::ControllerStatus DsdnEmulation::status_of(topo::NodeId node) const {
+  core::ControllerStatus s = core::collect_status(controller(node));
+  core::merge_flood_counters(s, obs_.snapshot());
+  return s;
 }
 
 void DsdnEmulation::set_link_fault_profile(topo::LinkId link,

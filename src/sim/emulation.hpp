@@ -14,7 +14,9 @@
 #include <memory>
 
 #include "core/controller.hpp"
+#include "core/introspection.hpp"
 #include "dataplane/forwarder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/faulty_bus.hpp"
 #include "traffic/estimator.hpp"
@@ -92,6 +94,10 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void set_link_fault_profile(topo::LinkId link, const LinkFaultProfile& p);
   FaultyBus* faulty_bus() { return faults_.get(); }
 
+  // Flooding accounting, stored in this emulation's metrics registry
+  // (obs(), counters "flood.*") -- the one source of truth the status
+  // renderers and run artifacts also read. This struct is the typed
+  // view assembled on demand.
   struct FloodStats {
     std::size_t transmissions = 0;  // attempts incl. retransmits
     std::size_t retransmits = 0;
@@ -100,7 +106,16 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
 
     bool operator==(const FloodStats&) const = default;
   };
-  const FloodStats& flood_stats() const { return flood_stats_; }
+  FloodStats flood_stats() const;
+
+  // Per-instance metrics registry: flood.* counters, nsu bytes, message
+  // counts. Exporters (obs::to_json / to_text) and the introspection
+  // renderers read from here.
+  const obs::Registry& obs() const { return obs_; }
+
+  // collect_status for one controller with this emulation's flooding
+  // counters merged in (the controller alone cannot see the transport).
+  core::ControllerStatus status_of(topo::NodeId node) const;
 
   // True iff all controllers' StateDb digests are identical.
   bool views_converged() const;
@@ -149,7 +164,13 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   sim::EventQueue queue_;
   std::size_t messages_ = 0;
   std::unique_ptr<FaultyBus> faults_;
-  FloodStats flood_stats_;
+  // Declared before the counter handles below, which point into it.
+  obs::Registry obs_;
+  obs::Counter& c_transmissions_;
+  obs::Counter& c_retransmits_;
+  obs::Counter& c_gave_up_;
+  obs::Counter& c_decode_errors_;
+  obs::Counter& c_nsu_bytes_;
 };
 
 }  // namespace dsdn::sim

@@ -7,6 +7,8 @@
 #include <map>
 #include <queue>
 
+#include "obs/trace.hpp"
+
 namespace dsdn::sim {
 
 const char* scheme_name(Scheme s) {
@@ -106,6 +108,7 @@ TransientSimulator::schedule_switches(double t0, const topo::Topology& state,
 }
 
 TransientResult TransientSimulator::run() {
+  DSDN_TRACE_SPAN("sim.transient_run");
   TransientResult result;
   const auto events = generate_failures(topo_, config_.failures);
 

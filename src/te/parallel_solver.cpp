@@ -3,11 +3,32 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace dsdn::te {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Process-wide scheduling counters across every pool instance; the
+// per-worker breakdown (tasks, busy, imbalance) stays on the instance
+// Stats that core::render_pool_stats renders.
+struct PoolMetrics {
+  obs::Counter& parallel_calls;
+  obs::Counter& inline_calls;
+  obs::Counter& tasks;
+  obs::Counter& busy_us;  // integrated worker busy time, microseconds
+
+  static PoolMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static PoolMetrics m{reg.counter("te.pool.parallel_calls"),
+                         reg.counter("te.pool.inline_calls"),
+                         reg.counter("te.pool.tasks"),
+                         reg.counter("te.pool.busy_us")};
+    return m;
+  }
+};
 
 // Pool whose run_chunks the current thread is executing (nullptr outside
 // the pool). Used to run nested parallel_for calls inline instead of
@@ -88,6 +109,7 @@ void ThreadPool::run_chunks(std::size_t slot) {
   }
   const double busy = std::chrono::duration<double>(Clock::now() - t0).count();
   t_current_pool = outer;
+  PoolMetrics::get().busy_us.add(static_cast<std::uint64_t>(busy * 1e6));
   std::lock_guard<std::mutex> lk(stats_mu_);
   stats_.per_worker[slot].tasks += tasks;
   stats_.per_worker[slot].busy_s += busy;
@@ -98,6 +120,11 @@ void ThreadPool::run_inline(
   const auto t0 = Clock::now();
   for (std::size_t i = 0; i < n; ++i) fn(i);
   const double busy = std::chrono::duration<double>(Clock::now() - t0).count();
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.parallel_calls.inc();
+  pm.inline_calls.inc();
+  pm.tasks.add(n);
+  pm.busy_us.add(static_cast<std::uint64_t>(busy * 1e6));
   std::lock_guard<std::mutex> lk(stats_mu_);
   ++stats_.parallel_calls;
   ++stats_.inline_calls;
@@ -140,6 +167,9 @@ void ThreadPool::parallel_for(
     self->job_fn_ = nullptr;
   }
   {
+    PoolMetrics& pm = PoolMetrics::get();
+    pm.parallel_calls.inc();
+    pm.tasks.add(n);
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++self->stats_.parallel_calls;
     self->stats_.tasks_executed += n;

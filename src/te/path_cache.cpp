@@ -2,9 +2,29 @@
 
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace dsdn::te {
 
 namespace {
+
+// Process-wide cache effectiveness, aggregated across every PathCache
+// instance (per-instance exactness stays on the member atomics, which
+// the Fig 15 report reads). Sharded adds: get() runs concurrently on
+// every path-search worker.
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::Registry::global().counter("te.cache.hits");
+  return c;
+}
+obs::Counter& cache_repair_hits() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("te.cache.repair_hits");
+  return c;
+}
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::Registry::global().counter("te.cache.misses");
+  return c;
+}
 
 bool path_feasible(const Path& path, const topo::Topology& topo,
                    const SpConstraints& c) {
@@ -50,6 +70,7 @@ std::optional<Path> PathCache::get(const topo::Topology& topo,
   const std::size_t idx = index(src, dst);
   if (path_feasible(paths_[idx], topo, c)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_hits().inc();
     return paths_[idx];
   }
   // The primary entry is saturated (or down). Try the repair path
@@ -63,10 +84,12 @@ std::optional<Path> PathCache::get(const topo::Topology& topo,
       Path copy = memo;
       lock.unlock();
       repair_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_repair_hits().inc();
       return copy;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_misses().inc();
   std::optional<Path> found = shortest_path(topo, src, dst, c);
   if (found) {
     std::unique_lock<std::shared_mutex> lock(repair_mu_);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "te/parallel_solver.hpp"
 
 namespace dsdn::te {
@@ -29,6 +31,18 @@ struct ActiveDemand {
 Solution Solver::solve(const topo::Topology& topo,
                        const traffic::TrafficMatrix& tm, SolveStats* stats,
                        const std::vector<double>* residual_override) const {
+  DSDN_TRACE_SPAN("te.solve");
+  // Handles into the global registry, resolved once per process; the
+  // per-round updates below are relaxed shard adds.
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_solves = reg.counter("te.solver.solves");
+  static obs::Counter& m_rounds = reg.counter("te.solver.rounds");
+  static obs::Counter& m_searches = reg.counter("te.solver.path_searches");
+  static obs::Histogram& m_wall = reg.histogram("te.solver.wall_s");
+  static obs::Histogram& m_search_t =
+      reg.histogram("te.solver.path_search_s");
+  static obs::Histogram& m_alloc_t = reg.histogram("te.solver.allocation_s");
+
   const auto t_start = Clock::now();
   SolveStats local_stats;
 
@@ -96,26 +110,31 @@ Solution Solver::solve(const topo::Topology& topo,
                          options_.epsilon_gbps * 10.0);
 
       // ---- Step 1: data-parallel path search ----
+      DSDN_TRACE_SPAN("te.round");
       const auto t_search = Clock::now();
-      pool.parallel_for(active.size(), [&](std::size_t i) {
-        ActiveDemand& ad = active[i];
-        const auto& d = solution.allocations[ad.alloc_index].demand;
-        SpConstraints c;
-        c.residual_gbps = &residual;
-        // Require room for at least a sliver of this round's grant so we
-        // don't select paths we cannot use.
-        c.min_residual = std::min(quantum, ad.remaining_gbps) * 1e-3 +
-                         options_.epsilon_gbps;
-        std::optional<Path> p =
-            options_.cache
-                ? options_.cache->get(topo, d.src, d.dst, c)
-                : shortest_path(topo, d.src, d.dst, c);
-        ad.round_path = p ? std::move(*p) : Path{};
-      });
+      {
+        DSDN_TRACE_SPAN("te.path_search");
+        pool.parallel_for(active.size(), [&](std::size_t i) {
+          ActiveDemand& ad = active[i];
+          const auto& d = solution.allocations[ad.alloc_index].demand;
+          SpConstraints c;
+          c.residual_gbps = &residual;
+          // Require room for at least a sliver of this round's grant so
+          // we don't select paths we cannot use.
+          c.min_residual = std::min(quantum, ad.remaining_gbps) * 1e-3 +
+                           options_.epsilon_gbps;
+          std::optional<Path> p =
+              options_.cache
+                  ? options_.cache->get(topo, d.src, d.dst, c)
+                  : shortest_path(topo, d.src, d.dst, c);
+          ad.round_path = p ? std::move(*p) : Path{};
+        });
+      }
       local_stats.path_searches += active.size();
       local_stats.path_search_time_s += seconds_since(t_search);
 
       // ---- Step 2: serialized fair allocation ----
+      DSDN_TRACE_SPAN("te.waterfill");
       const auto t_alloc = Clock::now();
       std::vector<ActiveDemand> next_active;
       next_active.reserve(active.size());
@@ -173,6 +192,12 @@ Solution Solver::solve(const topo::Topology& topo,
   local_stats.pool_imbalance = pool_stats.imbalance();
 
   local_stats.wall_time_s = seconds_since(t_start);
+  m_solves.inc();
+  m_rounds.add(local_stats.rounds);
+  m_searches.add(local_stats.path_searches);
+  m_wall.record(local_stats.wall_time_s);
+  m_search_t.record(local_stats.path_search_time_s);
+  m_alloc_t.record(local_stats.allocation_time_s);
   if (stats) *stats = local_stats;
   return solution;
 }

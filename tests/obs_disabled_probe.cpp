@@ -1,0 +1,39 @@
+// Compiled with -DDSDN_OBS_DISABLED (see tests/CMakeLists.txt): proves
+// the observability kill switch really compiles spans to nothing.
+//
+//  - The static_assert shows DSDN_TRACE_SPAN is legal inside a constexpr
+//    function, which only ((void)0) is -- a ScopedSpan would touch the
+//    runtime tracer and fail to be a constant expression.
+//  - run_probe_spans() executes span sites; test_obs.cpp calls it with
+//    the tracer *enabled* and checks that nothing was recorded.
+//
+// This TU links into the same binary as TUs built without the define;
+// the class definitions are identical either way, so there is no ODR
+// hazard -- only the macro expansion differs.
+
+#ifndef DSDN_OBS_DISABLED
+#error "obs_disabled_probe.cpp must be compiled with -DDSDN_OBS_DISABLED"
+#endif
+
+#include "obs/trace.hpp"
+
+namespace dsdn::obs::testprobe {
+
+constexpr int constexpr_with_span() {
+  DSDN_TRACE_SPAN("probe.constexpr");
+  return 42;
+}
+static_assert(constexpr_with_span() == 42,
+              "DSDN_TRACE_SPAN must expand to a constant expression when "
+              "DSDN_OBS_DISABLED is set");
+
+int run_probe_spans(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    DSDN_TRACE_SPAN("probe.loop");
+    acc += i;
+  }
+  return acc;
+}
+
+}  // namespace dsdn::obs::testprobe

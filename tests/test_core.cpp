@@ -446,9 +446,71 @@ TEST(Introspection, StatusReflectsControllerState) {
   EXPECT_EQ(status.links_up_in_view + status.links_down_in_view,
             f.topo.num_links());
 
+  // Programming accounting flows from the controller's lifetime totals.
+  EXPECT_EQ(status.recomputes, 1u);
+  EXPECT_GT(status.routes_installed, 0u);
+  EXPECT_EQ(status.install_retries, 0u);
+  EXPECT_EQ(status.installs_gave_up, 0u);
+
   const auto text = render_status(status, c.state().view());
   EXPECT_NE(text.find("origins heard"), std::string::npos);
   EXPECT_NE(text.find("FRR-protected"), std::string::npos);
+  EXPECT_NE(text.find("routes installed"), std::string::npos);
+  EXPECT_NE(text.find("retransmits"), std::string::npos);
+}
+
+TEST(Introspection, RenderStatusGolden) {
+  // Full-output golden: every field, including the programming and
+  // flooding counter lines, in their operator-facing layout.
+  const topo::Topology view = topo::make_ring(4);
+  ControllerStatus s;
+  s.self = 0;
+  s.view_digest = 0x1f;
+  s.origins_heard = 3;
+  s.nsus_accepted = 5;
+  s.nsus_rejected_stale = 2;
+  s.nsus_rejected_invalid = 1;
+  s.links_up_in_view = 7;
+  s.links_down_in_view = 1;
+  s.prefixes = 4;
+  s.encap_entries = 6;
+  s.transit_entries = 2;
+  s.protected_links = 3;
+  s.recomputes = 9;
+  s.routes_installed = 12;
+  s.install_retries = 4;
+  s.installs_gave_up = 1;
+  s.routes_too_deep = 2;
+  s.flood_transmissions = 120;
+  s.flood_retransmits = 6;
+  s.flood_gave_up = 1;
+  s.flood_decode_errors = 3;
+  EXPECT_EQ(
+      render_status(s, view),
+      "dSDN controller @ n0 (router 0)\n"
+      "  view digest     : 1f\n"
+      "  origins heard   : 3 / 4\n"
+      "  NSUs            : 5 accepted, 2 stale, 1 invalid\n"
+      "  view link state : 7 up, 1 down\n"
+      "  FIBs            : 4 prefixes, 6 encap groups, 2 transit labels, "
+      "3 FRR-protected links\n"
+      "  programming     : 9 recomputes, 12 routes installed, 4 retries, "
+      "1 gave up, 2 too deep\n"
+      "  flooding        : 120 transmissions, 6 retransmits, 1 gave up, "
+      "3 decode errors\n");
+}
+
+TEST(Introspection, MergeFloodCountersReadsHostRegistry) {
+  obs::Registry host;
+  host.counter("flood.transmissions").add(10);
+  host.counter("flood.retransmits").add(2);
+  host.counter("flood.gave_up").add(1);
+  ControllerStatus s;
+  merge_flood_counters(s, host.snapshot());
+  EXPECT_EQ(s.flood_transmissions, 10u);
+  EXPECT_EQ(s.flood_retransmits, 2u);
+  EXPECT_EQ(s.flood_gave_up, 1u);
+  EXPECT_EQ(s.flood_decode_errors, 0u);  // absent counter reads as zero
 }
 
 TEST(Introspection, FleetDigestCountsConvergence) {

@@ -54,6 +54,54 @@ TEST(Distribution, PercentileExactAtOneTwoAndHundredSamples) {
   EXPECT_DOUBLE_EQ(hundred.median(), 49.5);
 }
 
+TEST(Distribution, BatchPercentilesMatchSingleQueries) {
+  EmpiricalDistribution d;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    d.add(static_cast<double>(x % 10000));
+  }
+  const double ps[] = {0, 1, 25, 50, 75, 99, 99.9, 100};
+  const auto batch = d.percentiles(ps);
+  ASSERT_EQ(batch.size(), 8u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], d.percentile(ps[i])) << "p=" << ps[i];
+  }
+  EXPECT_THROW(d.percentiles(std::vector<double>{50.0, 101.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EmpiricalDistribution().percentiles(ps), std::logic_error);
+}
+
+TEST(Distribution, SortedCacheSurvivesInterleavedAppends) {
+  // The incremental tail merge: add/query/add/query must equal the
+  // sort-from-scratch answer at every step.
+  EmpiricalDistribution incremental;
+  std::vector<double> all;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double v = static_cast<double>(x % 1000) - 500.0;
+    incremental.add(v);
+    all.push_back(v);
+    if (i % 7 == 0) {
+      EmpiricalDistribution fresh(all);
+      EXPECT_DOUBLE_EQ(incremental.percentile(50), fresh.percentile(50));
+      EXPECT_DOUBLE_EQ(incremental.percentile(99), fresh.percentile(99));
+    }
+  }
+  // Descending input (worst case for an append-sorted tail).
+  EmpiricalDistribution desc;
+  for (int i = 100; i > 0; --i) {
+    desc.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(desc.max(), 100.0);
+    EXPECT_DOUBLE_EQ(desc.percentile(0), static_cast<double>(i));
+  }
+}
+
 TEST(Distribution, EmptyThrows) {
   EmpiricalDistribution d;
   EXPECT_THROW(d.mean(), std::logic_error);
