@@ -76,9 +76,34 @@ int main() {
   dcfg.measured_tcomp = router_tcomp;
   const auto dsdn = sim::measure_dsdn_convergence(w.topo, dcfg);
 
+  // ---- Warm-start Tcomp on B2 single-link failures ----
+  // The acceptance scenario for the incremental solver: on B2 scale a
+  // single fiber cut touches a small fraction of the demand set, so the
+  // warm recompute should be several times faster than from scratch.
+  sim::IncrementalTcompConfig icfg;
+  icfg.n_events = bench::full_scale() ? 12 : 6;
+  const auto inc = sim::measure_incremental_tcomp(w.topo, w.tm, icfg);
+  std::printf("--- Router Tcomp per single-fiber failure ---\n");
+  std::printf("full  %s\n", bench::dist_row(inc.full_s).c_str());
+  std::printf("warm  %s\n", bench::dist_row(inc.incremental_s).c_str());
+  std::printf(
+      "  => warm-start speedup: %.1fx median; reuse %.0f%% of allocations"
+      " (%zu fallbacks, %zu checker violations)\n\n",
+      inc.full_s.median() / inc.incremental_s.median(),
+      inc.reuse_fraction.mean() * 100.0, inc.fallbacks,
+      inc.checker_violations);
+
+  // dSDN convergence when routers keep warm TE state: Tcomp sampled from
+  // the measured incremental distribution, router-CPU scaled.
+  auto wcfg = dcfg;
+  wcfg.measured_tcomp =
+      inc.incremental_s.scaled(1.0 / metrics::kRouterCpuSpeedRatio);
+  const auto dsdn_warm = sim::measure_dsdn_convergence(w.topo, wcfg);
+
   std::printf("--- Total convergence time ---\n");
-  std::printf("RSVP-TE  %s\n", bench::dist_row(rsvp_conv).c_str());
-  std::printf("dSDN     %s\n", bench::dist_row(dsdn.total).c_str());
+  std::printf("RSVP-TE    %s\n", bench::dist_row(rsvp_conv).c_str());
+  std::printf("dSDN       %s\n", bench::dist_row(dsdn.total).c_str());
+  std::printf("dSDN warm  %s\n", bench::dist_row(dsdn_warm.total).c_str());
   std::printf(
       "\nshape checks: RSVP median > dSDN median: %s;"
       " RSVP p98/p50 tail stretch %.1fx vs dSDN %.1fx\n",
@@ -113,5 +138,14 @@ int main() {
   run.out().series("dsdn.router_tcomp_s", router_tcomp);
   run.out().metric("median_ratio",
                    rsvp_conv.median() / dsdn.total.median());
+  run.out().series("te.full_solve_s", inc.full_s);
+  run.out().series("te.incremental_s", inc.incremental_s);
+  run.out().series("dsdn.warm_total_s", dsdn_warm.total);
+  run.out().metric("incremental_speedup_median",
+                   inc.full_s.median() / inc.incremental_s.median());
+  run.out().metric("reuse_fraction_mean", inc.reuse_fraction.mean());
+  run.out().metric("fallbacks", static_cast<double>(inc.fallbacks));
+  run.out().metric("checker_violations",
+                   static_cast<double>(inc.checker_violations));
   return 0;
 }

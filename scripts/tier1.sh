@@ -20,6 +20,8 @@ ARTIFACT_DIR="build/bench-artifacts"
 rm -rf "${ARTIFACT_DIR}"
 DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_fig08_convergence_components >/dev/null
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_fig09_b2_convergence >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
 echo "==> tier-1: TSan build (build-tsan/) -- test_parallel + test_sim + test_obs"
@@ -37,5 +39,9 @@ cmake -B build-asan -S . -DDSDN_SANITIZE=address -DDSDN_FUZZ=ON >/dev/null
 cmake --build build-asan -j "${JOBS}" --target fuzz_wire test_wire test_fault_injection
 ./build-asan/fuzz/fuzz_wire -max_total_time=30 tests/corpus/wire
 (cd build-asan && ctest --output-on-failure -R '^(test_wire|test_fault_injection)$')
+
+echo "==> tier-1: ASan differential check -- incremental TE vs full solver"
+cmake --build build-asan -j "${JOBS}" --target test_incremental
+(cd build-asan && ctest --output-on-failure -R '^test_incremental$')
 
 echo "==> tier-1: all green"

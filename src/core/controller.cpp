@@ -15,6 +15,14 @@ Controller::Controller(const ControllerConfig& config,
       programmer_(config.self) {
   if (config.self >= configured.num_nodes())
     throw std::invalid_argument("Controller: bad self id");
+  if (config.incremental_te) {
+    te::IncrementalOptions io;
+    io.solver = config.solver_options;
+    io.full_solve_threshold = config.incremental_full_solve_threshold;
+    io.diff_check = config.te_diff_check;
+    io.diff_check_fatal = config.te_diff_check;
+    incremental_ = std::make_unique<te::IncrementalSolver>(io);
+  }
   programmer_.program_static_transit(configured, hw_);
   transit_programmed_ = true;
 }
@@ -63,11 +71,27 @@ FloodDirective Controller::handle_nsu(const NodeStateUpdate& nsu,
 
 Controller::RecomputeResult Controller::recompute() {
   DSDN_TRACE_SPAN("ctrl.recompute");
-  Pathing pathing(config_.self, solve_api_.get());
-  PathingResult pr = pathing.compute(state_);
   RecomputeResult result;
+  PathingResult pr;
+  if (incremental_) {
+    // Warm-start path: consume the view delta accumulated since the
+    // previous recompute and reuse every allocation it did not touch.
+    const te::ViewDelta delta = state_.take_delta();
+    pr.solution = incremental_->solve(state_.view(), state_.demands(), delta,
+                                      &result.incremental);
+    pr.stats = result.incremental.solve;
+    for (const te::Allocation* a :
+         pr.solution.originating_at(config_.self)) {
+      pr.own.push_back(*a);
+    }
+  } else {
+    Pathing pathing(config_.self, solve_api_.get());
+    pr = pathing.compute(state_);
+  }
   result.stats = pr.stats;
   result.own_allocations = pr.own.size();
+  last_solve_ = pr.stats;
+  last_incremental_ = result.incremental;
   programmer_.program_prefixes(state_, hw_);
   result.encap = programmer_.program_encap(pr.own, hw_);
   ++recomputes_;
@@ -109,6 +133,9 @@ std::vector<FloodDirective> Controller::resync_with(
 void Controller::set_solve_api(std::unique_ptr<SolveApi> api) {
   if (!api) throw std::invalid_argument("set_solve_api: null");
   solve_api_ = std::move(api);
+  // A replacement Solve API has unknown semantics; the warm-start cache
+  // of the built-in solver cannot speak for it.
+  incremental_.reset();
 }
 
 }  // namespace dsdn::core

@@ -17,6 +17,7 @@
 #include "core/pathing.hpp"
 #include "core/programmer.hpp"
 #include "core/state_db.hpp"
+#include "te/incremental.hpp"
 
 namespace dsdn::core {
 
@@ -29,6 +30,19 @@ struct ControllerConfig {
   dataplane::BypassStrategy bypass_strategy =
       dataplane::BypassStrategy::kCapacityAware;
   std::size_t bypass_k = 4;
+  // Warm-start incremental TE recompute (te::IncrementalSolver): reuse
+  // the previous solution's allocations that no view change touched,
+  // re-waterfill only the affected set. Off by default: with it on,
+  // routers converge to identical solutions only when their recompute
+  // *histories* match (which the emulation's quiescence barrier
+  // provides), not per isolated view. Ignored after set_solve_api().
+  bool incremental_te = false;
+  // Fraction of affected demands above which the incremental solver
+  // falls back to a from-scratch solve.
+  double incremental_full_solve_threshold = 0.35;
+  // Differential checker (debug/CI): verify every incremental solve
+  // against a fresh full solve; violations throw std::logic_error.
+  bool te_diff_check = false;
 };
 
 // An NSU to transmit and the local out-links to flood it on.
@@ -59,6 +73,9 @@ class Controller {
 
   struct RecomputeResult {
     te::SolveStats stats;
+    // Warm-start accounting; `incremental.incremental` is false when the
+    // controller ran a plain full solve (the default configuration).
+    te::IncrementalStats incremental;
     Programmer::EncapReport encap;
     Programmer::BypassReport bypasses;
     std::size_t own_allocations = 0;
@@ -78,6 +95,19 @@ class Controller {
     return encap_totals_;
   }
   std::size_t recomputes() const { return recomputes_; }
+
+  // Stats of the most recent recompute's solve (zero before the first),
+  // surfaced by collect_status so solver health (e.g. round-cap-frozen
+  // demands) is visible in "show dsdn status".
+  const te::SolveStats& last_solve_stats() const { return last_solve_; }
+  const te::IncrementalStats& last_incremental_stats() const {
+    return last_incremental_;
+  }
+  // Null unless incremental_te was configured (and no custom Solve API
+  // has replaced it).
+  const te::IncrementalSolver* incremental_solver() const {
+    return incremental_.get();
+  }
 
   const dataplane::RouterDataplane& dataplane() const { return hw_; }
   dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
@@ -106,11 +136,14 @@ class Controller {
   StateDb state_;
   LocalState local_;
   std::unique_ptr<SolveApi> solve_api_;
+  std::unique_ptr<te::IncrementalSolver> incremental_;
   Programmer programmer_;
   dataplane::RouterDataplane hw_;
   bool transit_programmed_ = false;
   Programmer::EncapReport encap_totals_;
   std::size_t recomputes_ = 0;
+  te::SolveStats last_solve_;
+  te::IncrementalStats last_incremental_;
 };
 
 }  // namespace dsdn::core

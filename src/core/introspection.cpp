@@ -43,6 +43,14 @@ ControllerStatus collect_status(const Controller& controller) {
   s.install_retries = encap.install_retries;
   s.installs_gave_up = encap.routes_gave_up;
   s.routes_too_deep = encap.routes_too_deep;
+  s.te_frozen_demands = controller.last_solve_stats().frozen_demands;
+  if (const te::IncrementalSolver* inc = controller.incremental_solver()) {
+    s.te_incremental_solves = inc->incremental_solves();
+    s.te_full_solves = inc->full_solves();
+    s.te_incremental_fallbacks = inc->fallbacks();
+    s.te_last_reuse_fraction =
+        controller.last_incremental_stats().reuse_fraction;
+  }
   return s;
 }
 
@@ -84,6 +92,11 @@ std::string render_status(const ControllerStatus& s,
   os << "  flooding        : " << s.flood_transmissions << " transmissions, "
      << s.flood_retransmits << " retransmits, " << s.flood_gave_up
      << " gave up, " << s.flood_decode_errors << " decode errors\n";
+  os << "  TE solver       : " << s.te_frozen_demands
+     << " round-cap frozen demands; incremental "
+     << s.te_incremental_solves << " warm / " << s.te_full_solves
+     << " full (" << s.te_incremental_fallbacks << " fallbacks), last reuse "
+     << util::format_double(s.te_last_reuse_fraction * 100.0, 1) << "%\n";
   return os.str();
 }
 

@@ -42,6 +42,14 @@ struct ControllerStatus {
   std::size_t flood_retransmits = 0;
   std::size_t flood_gave_up = 0;
   std::size_t flood_decode_errors = 0;
+  // TE solver health, from the last recompute: demands the round cap
+  // froze unsatisfied (persistent non-zero = starvation), and the
+  // warm-start accounting when incremental recompute is enabled.
+  std::size_t te_frozen_demands = 0;
+  std::size_t te_incremental_solves = 0;
+  std::size_t te_full_solves = 0;
+  std::size_t te_incremental_fallbacks = 0;
+  double te_last_reuse_fraction = 0.0;
 };
 
 ControllerStatus collect_status(const Controller& controller);

@@ -38,6 +38,8 @@ struct DemandAdvert {
   topo::NodeId egress = topo::kInvalidNode;
   metrics::PriorityClass priority = metrics::PriorityClass::kHigh;
   double rate_gbps = 0.0;
+
+  bool operator==(const DemandAdvert&) const = default;
 };
 
 struct OpaqueTlv {

@@ -1,5 +1,6 @@
 #include "core/state_db.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "util/rng.hpp"
@@ -7,7 +8,10 @@
 namespace dsdn::core {
 
 StateDb::StateDb(const topo::Topology& configured)
-    : view_(configured), sublabels_(configured.num_links(), 0) {}
+    : view_(configured),
+      sublabels_(configured.num_links(), 0),
+      delta_links_(configured.num_links(), 0),
+      delta_origins_(configured.num_nodes(), 0) {}
 
 bool StateDb::apply(const NodeStateUpdate& nsu) {
   if (validate_nsu(nsu) != NsuValidity::kValid) {
@@ -19,6 +23,13 @@ bool StateDb::apply(const NodeStateUpdate& nsu) {
     ++rejected_stale_;
     return false;
   }
+  // Delta tracking: an origin's demand rows changed if this NSU's advert
+  // list differs from the one it replaces (first-heard counts as a
+  // change -- the previous recompute saw no rows from it).
+  if (nsu.origin < delta_origins_.size() &&
+      (it == latest_.end() || !(it->second.demands == nsu.demands))) {
+    delta_origins_[nsu.origin] = 1;
+  }
   latest_[nsu.origin] = nsu;
   apply_to_view(nsu);
   ++accepted_;
@@ -28,9 +39,12 @@ bool StateDb::apply(const NodeStateUpdate& nsu) {
 void StateDb::apply_to_view(const NodeStateUpdate& nsu) {
   for (const LinkAdvert& la : nsu.links) {
     if (la.link >= view_.num_links()) continue;  // unknown inventory
+    if (view_.link(la.link).up != la.up) delta_links_[la.link] = 1;
     view_.set_link_up(la.link, la.up);
     if (la.capacity_gbps > 0) {
       // Partial capacity loss/restoration is advertised like liveness.
+      if (view_.link(la.link).capacity_gbps != la.capacity_gbps)
+        delta_links_[la.link] = 1;
       view_.set_link_capacity(la.link, la.capacity_gbps);
     }
     if (la.sublabel != 0) sublabels_[la.link] = la.sublabel;
@@ -38,6 +52,23 @@ void StateDb::apply_to_view(const NodeStateUpdate& nsu) {
   for (const topo::Prefix& p : nsu.prefixes) {
     prefixes_.insert(p, nsu.origin);
   }
+}
+
+te::ViewDelta StateDb::take_delta() {
+  te::ViewDelta delta;
+  delta.full = delta_full_;
+  for (std::size_t l = 0; l < delta_links_.size(); ++l) {
+    if (delta_links_[l]) delta.changed_links.push_back(
+        static_cast<topo::LinkId>(l));
+  }
+  for (std::size_t n = 0; n < delta_origins_.size(); ++n) {
+    if (delta_origins_[n]) delta.changed_demand_origins.push_back(
+        static_cast<topo::NodeId>(n));
+  }
+  delta_full_ = false;
+  std::fill(delta_links_.begin(), delta_links_.end(), 0);
+  std::fill(delta_origins_.begin(), delta_origins_.end(), 0);
+  return delta;
 }
 
 traffic::TrafficMatrix StateDb::demands() const {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "core/nsu.hpp"
+#include "te/view_delta.hpp"
 #include "traffic/matrix.hpp"
 
 namespace dsdn::core {
@@ -70,6 +71,14 @@ class StateDb {
   // NSU database (the restart technique of IS-IS [55]).
   void load_from(const StateDb& neighbor);
 
+  // The accumulated view changes since the previous take_delta() call
+  // (links whose liveness/capacity changed, origins whose demand
+  // adverts changed), for warm-starting the TE recompute. The first
+  // call -- and any call before an NSU was ever applied -- returns a
+  // `full` delta, meaning "no usable baseline". Taking the delta resets
+  // the accumulation.
+  te::ViewDelta take_delta();
+
  private:
   void apply_to_view(const NodeStateUpdate& nsu);
 
@@ -80,6 +89,12 @@ class StateDb {
   std::size_t accepted_ = 0;
   std::size_t rejected_stale_ = 0;
   std::size_t rejected_invalid_ = 0;
+
+  // Pending view delta, accumulated by apply_to_view as bitmasks (bounded
+  // memory however many NSUs arrive between recomputes).
+  bool delta_full_ = true;
+  std::vector<char> delta_links_;    // by LinkId
+  std::vector<char> delta_origins_;  // by NodeId
 };
 
 }  // namespace dsdn::core

@@ -1,6 +1,7 @@
 #include "sim/convergence.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -158,6 +159,56 @@ ComponentDistributions measure_dsdn_convergence(
     }
     out.total.add(event_total);
     scratch.set_duplex_up(fiber, true);
+  }
+  return out;
+}
+
+IncrementalTcompResult measure_incremental_tcomp(
+    const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+    const IncrementalTcompConfig& config) {
+  DSDN_TRACE_SPAN("sim.incremental_tcomp");
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  IncrementalTcompResult out;
+  te::IncrementalOptions io;
+  io.solver = config.solver_options;
+  io.full_solve_threshold = config.full_solve_threshold;
+  io.diff_check = config.diff_check;
+  te::IncrementalSolver warm(io);
+  te::Solver scratch(config.solver_options);
+
+  topo::Topology view = topo;
+  // Converged pre-failure baseline (full solve; not measured).
+  te::ViewDelta cold;
+  warm.solve(view, tm, cold, nullptr);
+
+  const auto fibers = pick_failure_fibers(topo, config.n_events,
+                                          util::splitmix64(config.seed));
+  for (topo::LinkId fiber : fibers) {
+    view.set_duplex_up(fiber, false);
+    te::ViewDelta delta;
+    delta.full = false;
+    delta.changed_links = {fiber, view.link(fiber).reverse};
+
+    te::IncrementalStats istats;
+    auto t0 = Clock::now();
+    warm.solve(view, tm, delta, &istats);
+    out.incremental_s.add(elapsed(t0));
+    out.reuse_fraction.add(istats.reuse_fraction);
+    if (istats.fallback) ++out.fallbacks;
+    out.checker_violations += istats.checker_violations;
+
+    t0 = Clock::now();
+    scratch.solve(view, tm);
+    out.full_s.add(elapsed(t0));
+
+    // Repair and re-warm (not measured) so the next event starts from a
+    // converged no-failure solution again.
+    view.set_duplex_up(fiber, true);
+    warm.solve(view, tm, delta, nullptr);
   }
   return out;
 }

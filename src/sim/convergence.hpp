@@ -16,6 +16,7 @@
 #include "csdn/controller.hpp"
 #include "metrics/calibration.hpp"
 #include "metrics/distribution.hpp"
+#include "te/incremental.hpp"
 #include "te/solver.hpp"
 
 namespace dsdn::sim {
@@ -101,5 +102,35 @@ ComponentDistributions measure_csdn_convergence(
 std::vector<topo::LinkId> pick_failure_fibers(const topo::Topology& topo,
                                               std::size_t count,
                                               std::uint64_t seed);
+
+// ---- Warm-start TE recompute timing (the Fig 8/9 Tcomp term) ----
+//
+// Per connectivity-preserving fiber failure, times the router's local TE
+// recompute twice on the identical post-failure view: once from scratch
+// (the seed behavior) and once warm-started off the pre-failure solution
+// via te::IncrementalSolver. The repair-side recompute restores the warm
+// state between events, so every failure is measured against a converged
+// baseline -- exactly the single-link-flap recompute a dSDN router runs.
+struct IncrementalTcompConfig {
+  te::SolverOptions solver_options;
+  double full_solve_threshold = 0.35;
+  // Run the differential checker on every warm recompute (adds a full
+  // solve per event; the check result is reported, not thrown).
+  bool diff_check = false;
+  std::size_t n_events = 50;
+  std::uint64_t seed = 23;
+};
+
+struct IncrementalTcompResult {
+  metrics::EmpiricalDistribution full_s;         // scratch solve per event
+  metrics::EmpiricalDistribution incremental_s;  // warm-start per event
+  metrics::EmpiricalDistribution reuse_fraction; // per warm recompute
+  std::size_t fallbacks = 0;
+  std::size_t checker_violations = 0;
+};
+
+IncrementalTcompResult measure_incremental_tcomp(
+    const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+    const IncrementalTcompConfig& config);
 
 }  // namespace dsdn::sim

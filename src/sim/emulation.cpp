@@ -27,6 +27,8 @@ DsdnEmulation::DsdnEmulation(topo::Topology topo, traffic::TrafficMatrix tm,
     cc.solver_options = config_.solver_options;
     cc.program_bypasses = config_.use_bypasses;
     cc.bypass_strategy = config_.bypass_strategy;
+    cc.incremental_te = config_.incremental_te;
+    cc.te_diff_check = config_.te_diff_check;
     controllers_.push_back(std::make_unique<core::Controller>(cc, topo_));
   }
   dirty_.assign(topo_.num_nodes(), 0);
@@ -223,12 +225,15 @@ void DsdnEmulation::degrade_fiber(topo::LinkId fiber, double capacity_gbps) {
 }
 
 void DsdnEmulation::crash_and_recover(topo::NodeId node) {
-  // Fresh controller instance: empty StateDb, seq counter reset.
+  // Fresh controller instance: empty StateDb, seq counter reset, cold
+  // incremental warm state (its first recompute is a full solve).
   core::ControllerConfig cc;
   cc.self = node;
   cc.solver_options = config_.solver_options;
   cc.program_bypasses = config_.use_bypasses;
   cc.bypass_strategy = config_.bypass_strategy;
+  cc.incremental_te = config_.incremental_te;
+  cc.te_diff_check = config_.te_diff_check;
   controllers_[node] = std::make_unique<core::Controller>(cc, topo_);
 
   // Recover state from any live neighbor, then re-originate (with a

@@ -47,6 +47,15 @@ struct EmulationConfig {
   dataplane::BypassStrategy bypass_strategy =
       dataplane::BypassStrategy::kCapacityAware;
   FloodRetryPolicy flood_retry;
+  // Warm-start incremental TE recompute on every controller. Safe here
+  // because the emulation recomputes all dirty controllers at the same
+  // quiescent points, keeping warm-state histories in lockstep; a
+  // crashed-and-recovered controller restarts cold (full solve).
+  bool incremental_te = false;
+  // Run the differential checker on every incremental recompute
+  // (throws on an invariant violation). Debug/CI: one extra full solve
+  // per recompute per controller.
+  bool te_diff_check = false;
 };
 
 class DsdnEmulation final : public dataplane::DataplaneProvider {

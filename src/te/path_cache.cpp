@@ -30,6 +30,7 @@ bool path_feasible(const Path& path, const topo::Topology& topo,
                    const SpConstraints& c) {
   if (path.empty()) return false;
   for (topo::LinkId lid : path.links) {
+    if (lid >= topo.num_links()) return false;  // stale table, new topology
     const topo::Link& l = topo.link(lid);
     if (c.require_up && !l.up) return false;
     if (c.link_allowed && !(*c.link_allowed)[lid]) return false;
@@ -41,37 +42,55 @@ bool path_feasible(const Path& path, const topo::Topology& topo,
 
 }  // namespace
 
-PathCache::PathCache(const topo::Topology& topo) { rebuild(topo); }
-
-void PathCache::rebuild(const topo::Topology& topo) {
-  n_ = topo.num_nodes();
-  paths_.assign(n_ * n_, Path{});
-  repair_.assign(n_ * n_, Path{});
+std::shared_ptr<const PathCache::Table> PathCache::build_table(
+    const topo::Topology& topo) {
+  auto table = std::make_shared<Table>();
+  table->n = topo.num_nodes();
+  table->paths.assign(table->n * table->n, Path{});
   SpConstraints ignore_state;
   ignore_state.require_up = false;  // capacity- and state-oblivious
-  for (topo::NodeId s = 0; s < n_; ++s) {
+  for (topo::NodeId s = 0; s < table->n; ++s) {
     auto tree = shortest_path_tree(topo, s, ignore_state);
-    for (topo::NodeId d = 0; d < n_; ++d) {
+    for (topo::NodeId d = 0; d < table->n; ++d) {
       if (d == s) continue;
-      paths_[index(s, d)] = std::move(tree[d]);
+      table->paths[table->index(s, d)] = std::move(tree[d]);
     }
   }
+  return table;
+}
+
+PathCache::PathCache(const topo::Topology& topo)
+    : table_(build_table(topo)) {
+  std::unique_lock<std::shared_mutex> lock(repair_mu_);
+  repair_.assign(topo.num_nodes() * topo.num_nodes(), Path{});
 }
 
 void PathCache::invalidate(const topo::Topology& topo) {
+  // Build off to the side -- concurrent get() calls keep reading the old
+  // snapshot -- then swap the finished table in and drop the repair
+  // entries of the closed epoch.
+  auto fresh = build_table(topo);
+  {
+    std::lock_guard<std::mutex> tlock(table_mu_);
+    table_ = std::move(fresh);
+  }
   std::unique_lock<std::shared_mutex> lock(repair_mu_);
-  rebuild(topo);
-  ++epoch_;
+  repair_.assign(topo.num_nodes() * topo.num_nodes(), Path{});
+  epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<Path> PathCache::get(const topo::Topology& topo,
                                    topo::NodeId src, topo::NodeId dst,
                                    const SpConstraints& c) const {
-  const std::size_t idx = index(src, dst);
-  if (path_feasible(paths_[idx], topo, c)) {
+  // Pin this lookup's snapshot: a concurrent invalidate() swaps the
+  // pointer but never mutates a published table.
+  const std::shared_ptr<const Table> table = snapshot();
+  const std::size_t idx = table->index(src, dst);
+  if (idx < table->paths.size() &&
+      path_feasible(table->paths[idx], topo, c)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     cache_hits().inc();
-    return paths_[idx];
+    return table->paths[idx];
   }
   // The primary entry is saturated (or down). Try the repair path
   // memoized by an earlier miss for this pair before paying for another
@@ -79,13 +98,15 @@ std::optional<Path> PathCache::get(const topo::Topology& topo,
   // repair entry can cost a recompute but never an infeasible answer.
   {
     std::shared_lock<std::shared_mutex> lock(repair_mu_);
-    const Path& memo = repair_[idx];
-    if (path_feasible(memo, topo, c)) {
-      Path copy = memo;
-      lock.unlock();
-      repair_hits_.fetch_add(1, std::memory_order_relaxed);
-      cache_repair_hits().inc();
-      return copy;
+    if (idx < repair_.size()) {
+      const Path& memo = repair_[idx];
+      if (path_feasible(memo, topo, c)) {
+        Path copy = memo;
+        lock.unlock();
+        repair_hits_.fetch_add(1, std::memory_order_relaxed);
+        cache_repair_hits().inc();
+        return copy;
+      }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +114,7 @@ std::optional<Path> PathCache::get(const topo::Topology& topo,
   std::optional<Path> found = shortest_path(topo, src, dst, c);
   if (found) {
     std::unique_lock<std::shared_mutex> lock(repair_mu_);
-    repair_[idx] = *found;
+    if (idx < repair_.size()) repair_[idx] = *found;
   }
   return found;
 }

@@ -23,10 +23,18 @@
 // invalidate() starts a new epoch, discarding all repair entries.
 //
 // Thread safety: get() is called concurrently from the solver's
-// path-search workers; primary entries are immutable between rebuilds,
-// repair entries are guarded by a shared_mutex, counters are atomics.
+// path-search workers and may overlap invalidate(). The primary table is
+// an immutable snapshot behind a mutex-guarded shared_ptr: invalidate()
+// builds the new table off to the side and swaps the pointer in
+// wholesale, so a reader either sees the old table or the new one, never
+// a partial rebuild. (A plain mutex around the pointer copy, not
+// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic lock-bit protocol is
+// opaque to TSan, and the critical section is two refcount ops.)
+// Repair entries are guarded by a shared_mutex, counters are atomics.
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 
@@ -50,11 +58,14 @@ class PathCache {
 
   // Rebuilds the primary all-pairs entries against the (possibly
   // metric-changed or link-grown) topology and drops every memoized
-  // repair entry. Must not race with concurrent get() calls.
+  // repair entry. Safe to run while other threads call get(): in-flight
+  // lookups finish against the snapshot they loaded.
   void invalidate(const topo::Topology& topo);
 
   // Number of invalidate() calls; repair entries never outlive an epoch.
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
   // Hit counters, for the Fig 15 report. A get() resolves to exactly one
   // of: primary hit, repair hit (memoized miss), or miss (full Dijkstra).
@@ -68,14 +79,28 @@ class PathCache {
   void reset_counters();
 
  private:
-  std::size_t index(topo::NodeId src, topo::NodeId dst) const {
-    return static_cast<std::size_t>(src) * n_ + dst;
-  }
-  void rebuild(const topo::Topology& topo);
+  // One immutable all-pairs snapshot; replaced wholesale by invalidate().
+  struct Table {
+    std::size_t n = 0;
+    std::vector<Path> paths;  // row-major (src, dst); empty = disconnected
 
-  std::size_t n_;
-  std::vector<Path> paths_;  // row-major (src, dst); empty = disconnected
-  std::uint64_t epoch_ = 0;
+    std::size_t index(topo::NodeId src, topo::NodeId dst) const {
+      return static_cast<std::size_t>(src) * n + dst;
+    }
+  };
+
+  static std::shared_ptr<const Table> build_table(
+      const topo::Topology& topo);
+
+  // Pin the current snapshot (refcount bump under the pointer mutex).
+  std::shared_ptr<const Table> snapshot() const {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    return table_;
+  }
+
+  mutable std::mutex table_mu_;
+  std::shared_ptr<const Table> table_;
+  std::atomic<std::uint64_t> epoch_{0};
 
   // Memoized constrained-fallback paths; empty = nothing memoized (or
   // the last fallback found no path, which is never memoized).

@@ -38,6 +38,7 @@ Solution Solver::solve(const topo::Topology& topo,
   static obs::Counter& m_solves = reg.counter("te.solver.solves");
   static obs::Counter& m_rounds = reg.counter("te.solver.rounds");
   static obs::Counter& m_searches = reg.counter("te.solver.path_searches");
+  static obs::Counter& m_frozen = reg.counter("te.solver.frozen_demands");
   static obs::Histogram& m_wall = reg.histogram("te.solver.wall_s");
   static obs::Histogram& m_search_t =
       reg.histogram("te.solver.path_search_s");
@@ -61,10 +62,12 @@ Solution Solver::solve(const topo::Topology& topo,
     residual.resize(topo.num_links());
     for (std::size_t l = 0; l < topo.num_links(); ++l)
       residual[l] = topo.link(static_cast<topo::LinkId>(l)).capacity_gbps;
-    // A down link contributes no capacity.
-    for (std::size_t l = 0; l < topo.num_links(); ++l) {
-      if (!topo.link(static_cast<topo::LinkId>(l)).up) residual[l] = 0.0;
-    }
+  }
+  // A down link contributes no capacity -- also when the caller seeded
+  // residuals (an override computed before the link failed may carry
+  // leftover headroom the allocator must never hand out).
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    if (!topo.link(static_cast<topo::LinkId>(l)).up) residual[l] = 0.0;
   }
 
   // The pool's workers start once -- here when solver-owned, or at the
@@ -169,6 +172,10 @@ Solution Solver::solve(const topo::Topology& topo,
       active = std::move(next_active);
       local_stats.allocation_time_s += seconds_since(t_alloc);
     }
+    // Demands still wanting capacity when the round cap fired: they are
+    // frozen (possibly part-filled) without a feasibility verdict.
+    // Account them so starvation is visible instead of silent.
+    local_stats.frozen_demands += active.size();
   }
 
   // Convert accumulated per-path rates into weighted paths.
@@ -195,6 +202,7 @@ Solution Solver::solve(const topo::Topology& topo,
   m_solves.inc();
   m_rounds.add(local_stats.rounds);
   m_searches.add(local_stats.path_searches);
+  m_frozen.add(local_stats.frozen_demands);
   m_wall.record(local_stats.wall_time_s);
   m_search_t.record(local_stats.path_search_time_s);
   m_alloc_t.record(local_stats.allocation_time_s);

@@ -65,6 +65,10 @@ struct SolveStats {
   double allocation_time_s = 0.0;   // serialized portion
   std::size_t rounds = 0;
   std::size_t path_searches = 0;
+  // Demands still unsatisfied when the max_rounds safety valve fired
+  // (frozen part-filled without a feasibility verdict). Persistent
+  // non-zero values mean the round cap is starving traffic.
+  std::size_t frozen_demands = 0;
   // Thread-pool scheduling counters, snapshotted at solve end (for a
   // solver-owned pool these cover exactly this solve; for an external
   // SolverOptions::pool they are the pool's lifetime totals).

@@ -1,0 +1,33 @@
+#pragma once
+
+// The change set between two TE recomputes, as tracked by the
+// NodeStateDB: which links changed (liveness or capacity) and which
+// origins' advertised demands changed since the previous recompute.
+//
+// This is the warm-start contract between core::StateDb (which
+// accumulates the delta as NSUs are applied) and te::IncrementalSolver
+// (which uses it to decide which allocations of the previous Solution
+// can be kept). A delta with `full` set means "unknown baseline" --
+// the consumer must treat everything as changed.
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace dsdn::te {
+
+struct ViewDelta {
+  // Directed link ids whose up/down state or capacity changed.
+  std::vector<topo::LinkId> changed_links;
+  // Origins whose advertised demand set changed (dSDN aggregates demand
+  // by source router, so one origin churn invalidates exactly its rows).
+  std::vector<topo::NodeId> changed_demand_origins;
+  // No usable baseline: the consumer must recompute from scratch.
+  bool full = true;
+
+  bool empty() const {
+    return !full && changed_links.empty() && changed_demand_origins.empty();
+  }
+};
+
+}  // namespace dsdn::te

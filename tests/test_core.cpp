@@ -149,6 +149,84 @@ TEST(StateDb, ReorderedDeliveryConvergesToSameDigest) {
   EXPECT_EQ(reversed.rejected_stale(), 8u);
 }
 
+TEST(StateDb, TakeDeltaStartsFullThenTracksChanges) {
+  const auto topo = ring6();
+  StateDb db(topo);
+  // The first delta is always full: nothing has been recomputed yet.
+  te::ViewDelta first = db.take_delta();
+  EXPECT_TRUE(first.full);
+  // Nothing happened since the drain: the next delta is empty.
+  te::ViewDelta quiet = db.take_delta();
+  EXPECT_FALSE(quiet.full);
+  EXPECT_TRUE(quiet.empty());
+
+  // A link-down advert marks exactly that link.
+  NodeStateUpdate down = content_nsu(topo, 1, 1, 100.0);
+  down.links[0].up = false;
+  EXPECT_TRUE(db.apply(down));
+  te::ViewDelta d = db.take_delta();
+  EXPECT_FALSE(d.full);
+  ASSERT_EQ(d.changed_links.size(), 1u);
+  EXPECT_EQ(d.changed_links[0], topo.find_link(1, 2));
+  // First-heard origins count as demand changes even with no rows: the
+  // previous recompute had never seen them.
+  ASSERT_EQ(d.changed_demand_origins.size(), 1u);
+  EXPECT_EQ(d.changed_demand_origins[0], 1u);
+}
+
+TEST(StateDb, TakeDeltaIgnoresNoopAndStaleUpdates) {
+  const auto topo = ring6();
+  StateDb db(topo);
+  EXPECT_TRUE(db.apply(content_nsu(topo, 2, 1, 100.0)));
+  db.take_delta();  // drain the initial full delta
+
+  // Re-advertising the identical link state (newer seq) changes nothing.
+  EXPECT_TRUE(db.apply(content_nsu(topo, 2, 2, 100.0)));
+  te::ViewDelta noop = db.take_delta();
+  EXPECT_TRUE(noop.changed_links.empty());
+  EXPECT_TRUE(noop.changed_demand_origins.empty());
+
+  // Stale updates never mark the delta.
+  EXPECT_FALSE(db.apply(content_nsu(topo, 2, 1, 55.0)));
+  EXPECT_TRUE(db.take_delta().empty());
+
+  // A capacity change does mark the link.
+  EXPECT_TRUE(db.apply(content_nsu(topo, 2, 3, 40.0)));
+  te::ViewDelta cap = db.take_delta();
+  ASSERT_EQ(cap.changed_links.size(), 1u);
+  EXPECT_EQ(cap.changed_links[0], topo.find_link(2, 3));
+}
+
+TEST(StateDb, TakeDeltaTracksDemandChurn) {
+  const auto topo = ring6();
+  StateDb db(topo);
+  NodeStateUpdate nsu = minimal_nsu(3, 1);
+  nsu.demands.push_back({0, PriorityClass::kHigh, 2.0});
+  EXPECT_TRUE(db.apply(nsu));
+  db.take_delta();
+
+  // Same rows under a newer seq: no demand change.
+  nsu.seq = 2;
+  EXPECT_TRUE(db.apply(nsu));
+  EXPECT_TRUE(db.take_delta().changed_demand_origins.empty());
+
+  // A re-rated row marks the origin.
+  nsu.seq = 3;
+  nsu.demands[0].rate_gbps = 5.0;
+  EXPECT_TRUE(db.apply(nsu));
+  te::ViewDelta d = db.take_delta();
+  ASSERT_EQ(d.changed_demand_origins.size(), 1u);
+  EXPECT_EQ(d.changed_demand_origins[0], 3u);
+
+  // A dropped row also marks it.
+  nsu.seq = 4;
+  nsu.demands.clear();
+  EXPECT_TRUE(db.apply(nsu));
+  d = db.take_delta();
+  ASSERT_EQ(d.changed_demand_origins.size(), 1u);
+  EXPECT_EQ(d.changed_demand_origins[0], 3u);
+}
+
 TEST(Bus, PublishReachesSubscribersInOrder) {
   Bus bus;
   std::vector<int> order;
@@ -485,6 +563,11 @@ TEST(Introspection, RenderStatusGolden) {
   s.flood_retransmits = 6;
   s.flood_gave_up = 1;
   s.flood_decode_errors = 3;
+  s.te_frozen_demands = 2;
+  s.te_incremental_solves = 8;
+  s.te_full_solves = 1;
+  s.te_incremental_fallbacks = 1;
+  s.te_last_reuse_fraction = 0.875;
   EXPECT_EQ(
       render_status(s, view),
       "dSDN controller @ n0 (router 0)\n"
@@ -497,7 +580,9 @@ TEST(Introspection, RenderStatusGolden) {
       "  programming     : 9 recomputes, 12 routes installed, 4 retries, "
       "1 gave up, 2 too deep\n"
       "  flooding        : 120 transmissions, 6 retransmits, 1 gave up, "
-      "3 decode errors\n");
+      "3 decode errors\n"
+      "  TE solver       : 2 round-cap frozen demands; incremental 8 warm / "
+      "1 full (1 fallbacks), last reuse 87.5%\n");
 }
 
 TEST(Introspection, MergeFloodCountersReadsHostRegistry) {

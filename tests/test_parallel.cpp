@@ -316,6 +316,61 @@ TEST(PathCacheRepair, MemoRevalidatedNeverReturnsInfeasible) {
   EXPECT_EQ(cache.repair_hits(), 1u);
 }
 
+TEST(PathCacheInvalidate, GetRacesInvalidateSafely) {
+  // Regression (TSan): get() used to read paths_[idx] without holding
+  // the lock invalidate() rebuilt it under, so a concurrent epoch flip
+  // could hand a reader a half-written Path. The table is now an
+  // immutable snapshot swapped atomically; readers pin one snapshot per
+  // lookup and every returned path must still be feasible for the
+  // topology the reader passed in.
+  const auto a = diamond(/*b_metric=*/1.0, /*c_metric=*/2.0);
+  const auto b = diamond(/*b_metric=*/5.0, /*c_metric=*/1.0);
+  te::PathCache cache(a);
+
+  constexpr int kReaders = 4;
+  constexpr int kFlips = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      // Half the readers exercise the repair branch too.
+      std::vector<double> residual(a.num_links(), 100.0);
+      te::SpConstraints c;
+      if (r % 2 == 1) {
+        residual[a.find_link(0, 1)] = 0.0;
+        c.residual_gbps = &residual;
+        c.min_residual = 1.0;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (topo::NodeId s = 0; s < a.num_nodes(); ++s) {
+          for (topo::NodeId d = 0; d < a.num_nodes(); ++d) {
+            if (s == d) continue;
+            const auto p = cache.get(a, s, d, c);
+            // The diamond is connected, so a path must always come back,
+            // and it must be valid *for the reader's topology* no matter
+            // which table snapshot served it.
+            if (!p.has_value() || !p->is_valid(a) || p->src(a) != s ||
+                p->dst(a) != d) {
+              bad.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kFlips; ++i) {
+    cache.invalidate(i % 2 == 0 ? b : a);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(cache.epoch(), static_cast<std::uint64_t>(kFlips));
+}
+
 TEST(PathCacheInvalidate, MetricChangeRebuildsPrimaryAndDropsMemo) {
   const auto before = diamond(/*b_metric=*/1.0, /*c_metric=*/2.0);
   te::PathCache cache(before);

@@ -375,6 +375,48 @@ TEST(Solver, DownLinkNeverCarriesTraffic) {
   }
 }
 
+TEST(Solver, ResidualOverrideStillClampsDownLinks) {
+  // Regression: the down-link zeroing used to live only in the
+  // default-residual branch, so a what-if solve seeded with a stale
+  // residual snapshot could place traffic on links that had since gone
+  // down. The clamp must apply to the override branch too.
+  auto t = diamond();
+  std::vector<double> residual(t.num_links());
+  for (const auto& l : t.links()) residual[l.id] = l.capacity_gbps;
+  // The b branch goes down *after* the residual snapshot was taken.
+  t.set_duplex_up(t.find_link(0, 1), false);
+
+  traffic::TrafficMatrix tm;
+  tm.add({0, 3, PriorityClass::kHigh, 4.0});
+  const auto sol = Solver().solve(t, tm, nullptr, &residual);
+  ASSERT_EQ(sol.allocations.size(), 1u);
+  EXPECT_NEAR(sol.allocations[0].allocated_gbps, 4.0, 1e-6);
+  for (const auto& wp : sol.allocations[0].paths) {
+    for (topo::LinkId l : wp.path.links) EXPECT_TRUE(t.link(l).up);
+  }
+}
+
+TEST(Solver, RoundCapFreezesAreCounted) {
+  // With max_rounds=1 and a tiny fixed quantum, the 8G demand cannot
+  // finish in one round: it is frozen part-filled and must show up in
+  // SolveStats::frozen_demands.
+  const auto t = diamond();
+  traffic::TrafficMatrix tm;
+  tm.add({0, 3, PriorityClass::kHigh, 8.0});
+  SolverOptions opt;
+  opt.max_rounds = 1;
+  opt.quantum_gbps = 0.5;
+  SolveStats stats;
+  const auto sol = Solver(opt).solve(t, tm, &stats);
+  EXPECT_EQ(stats.frozen_demands, 1u);
+  EXPECT_LT(sol.allocations[0].allocated_gbps, 8.0);
+
+  // An unconstrained solve freezes nothing.
+  SolveStats ok;
+  Solver().solve(t, tm, &ok);
+  EXPECT_EQ(ok.frozen_demands, 0u);
+}
+
 }  // namespace
 }  // namespace dsdn::te
 
