@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Seed-swarm driver for the deterministic scenario harness: builds the
+# scenario_swarm runner and sweeps N seeds per topology, each seed a
+# long-horizon churn schedule (cuts, flaps, SRLG failures, crash and
+# cold restarts, demand surges, lossy flooding, incremental-TE toggles)
+# with the full invariant suite checked after every event. On failure it
+# prints the minimal shrunk event schedule plus the replay command.
+#
+#   scripts/scenario_swarm.sh [seeds] [extra scenario_swarm flags...]
+#
+# Examples:
+#   scripts/scenario_swarm.sh                 # 32 seeds, all topologies
+#   scripts/scenario_swarm.sh 500             # the full acceptance sweep
+#   scripts/scenario_swarm.sh 64 --lossy      # with flooding-plane faults
+#   scripts/scenario_swarm.sh 8 --topo abilene --bug   # planted-bug demo
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SEEDS="${1:-32}"
+shift || true
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target scenario_swarm >/dev/null
+
+exec ./build/tests/scenario_swarm --topo all --seeds "${SEEDS}" "$@"

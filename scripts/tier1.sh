@@ -44,4 +44,17 @@ echo "==> tier-1: ASan differential check -- incremental TE vs full solver"
 cmake --build build-asan -j "${JOBS}" --target test_incremental
 (cd build-asan && ctest --output-on-failure -R '^test_incremental$')
 
+echo "==> tier-1: scenario seed swarm (build/) -- 32 seeds, invariants each event"
+# Bounded ~60 s: 28 Abilene histories (24 events each, lossy flooding)
+# plus 2 B4-like and 2 B2-small histories. scripts/scenario_swarm.sh
+# runs the full-size sweeps.
+cmake --build build -j "${JOBS}" --target scenario_swarm
+./build/tests/scenario_swarm --topo abilene --seeds 28 --lossy
+./build/tests/scenario_swarm --topo b4 --seeds 2
+./build/tests/scenario_swarm --topo b2small --seeds 2
+
+echo "==> tier-1: ASan scenario swarm (build-asan/) -- lossy churn under ASan"
+cmake --build build-asan -j "${JOBS}" --target scenario_swarm
+./build-asan/tests/scenario_swarm --topo abilene --seeds 4 --lossy
+
 echo "==> tier-1: all green"

@@ -15,16 +15,28 @@ Controller::Controller(const ControllerConfig& config,
       programmer_(config.self) {
   if (config.self >= configured.num_nodes())
     throw std::invalid_argument("Controller: bad self id");
-  if (config.incremental_te) {
-    te::IncrementalOptions io;
-    io.solver = config.solver_options;
-    io.full_solve_threshold = config.incremental_full_solve_threshold;
-    io.diff_check = config.te_diff_check;
-    io.diff_check_fatal = config.te_diff_check;
-    incremental_ = std::make_unique<te::IncrementalSolver>(io);
-  }
+  if (config.incremental_te) set_incremental_te(true);
   programmer_.program_static_transit(configured, hw_);
   transit_programmed_ = true;
+}
+
+void Controller::set_incremental_te(bool enabled) {
+  config_.incremental_te = enabled;
+  if (!enabled) {
+    incremental_.reset();
+    return;
+  }
+  if (incremental_) return;  // keep the existing warm state
+  te::IncrementalOptions io;
+  io.solver = config_.solver_options;
+  io.full_solve_threshold = config_.incremental_full_solve_threshold;
+  io.diff_check = config_.te_diff_check;
+  io.diff_check_fatal = config_.te_diff_check;
+  incremental_ = std::make_unique<te::IncrementalSolver>(io);
+}
+
+void Controller::reset_incremental_te() {
+  if (incremental_) incremental_->reset();
 }
 
 std::vector<topo::LinkId> Controller::flood_links(
@@ -58,7 +70,11 @@ FloodDirective Controller::handle_nsu(const NodeStateUpdate& nsu,
   FloodDirective d;
   if (nsu.origin == config_.self) {
     // Our own NSU echoed back through the network: never re-flood (the
-    // sequence number check would reject it anyway).
+    // sequence number check would reject it anyway). After a cold
+    // restart the echo carries a pre-crash sequence number our reset
+    // counter knows nothing about -- adopt it (IS-IS own-LSP recovery)
+    // so the next origination supersedes the stale copy network-wide.
+    local_.resume_after(nsu.seq);
     return d;
   }
   if (!state_.apply(nsu)) return d;  // stale/malformed: flooding stops here
@@ -92,6 +108,7 @@ Controller::RecomputeResult Controller::recompute() {
   result.own_allocations = pr.own.size();
   last_solve_ = pr.stats;
   last_incremental_ = result.incremental;
+  last_solution_ = pr.solution;
   programmer_.program_prefixes(state_, hw_);
   result.encap = programmer_.program_encap(pr.own, hw_);
   ++recomputes_;
@@ -119,6 +136,10 @@ std::vector<FloodDirective> Controller::resync_with(
     const Controller& neighbor) {
   state_.load_from(neighbor.state_);
   bus_.publish_as(topics::kStateChanged, state_.digest());
+  return advertise_database();
+}
+
+std::vector<FloodDirective> Controller::advertise_database() const {
   std::vector<FloodDirective> out;
   const auto links = flood_links(topo::kInvalidLink);
   for (const NodeStateUpdate* nsu : state_.all_latest()) {

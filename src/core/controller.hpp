@@ -109,6 +109,24 @@ class Controller {
     return incremental_.get();
   }
 
+  // The solution installed by the most recent recompute() (empty before
+  // the first). Invariant checkers diff this against a cold full solve
+  // of the same view to bound warm-start drift across whole histories.
+  const te::Solution& last_solution() const { return last_solution_; }
+
+  // Runtime toggle for warm-start TE (scenario harness: mid-history
+  // on/off flips). Turning it off discards the warm state; turning it on
+  // starts cold (the next recompute is a full solve). Idempotent.
+  void set_incremental_te(bool enabled);
+
+  // Drops the warm-start state (keeping the feature enabled): the next
+  // recompute is a from-scratch full solve. Used when a peer restarts --
+  // warm histories are history-dependent within the checker tolerance,
+  // so a restarted router's cold solve can disagree with its peers'
+  // evolved solutions; realigning the whole fleet on a cold solve at the
+  // same barrier restores the identical-solutions property (§3.1).
+  void reset_incremental_te();
+
   const dataplane::RouterDataplane& dataplane() const { return hw_; }
   dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
   Bus& bus() { return bus_; }
@@ -123,6 +141,13 @@ class Controller {
   // reach the rest of the network. Sequence-number dedup at receivers
   // terminates the reflood cheaply when nothing actually changed.
   std::vector<FloodDirective> resync_with(const Controller& neighbor);
+
+  // The reflood half of resync_with without the merge: directives for
+  // every NSU in the own database, flooded on all up out-links. This is
+  // what a router sends when an adjacency comes up toward a peer that
+  // lost its database (cold restart): the restarted router rebuilds its
+  // StateDb purely from these re-flooded NSUs.
+  std::vector<FloodDirective> advertise_database() const;
 
   // Replaces the Solve API implementation (operator-defined control code;
   // also how the solver could move off-box).
@@ -144,6 +169,7 @@ class Controller {
   std::size_t recomputes_ = 0;
   te::SolveStats last_solve_;
   te::IncrementalStats last_incremental_;
+  te::Solution last_solution_;
 };
 
 }  // namespace dsdn::core

@@ -8,10 +8,7 @@
 namespace dsdn::core {
 
 StateDb::StateDb(const topo::Topology& configured)
-    : view_(configured),
-      sublabels_(configured.num_links(), 0),
-      delta_links_(configured.num_links(), 0),
-      delta_origins_(configured.num_nodes(), 0) {}
+    : view_(configured), sublabels_(configured.num_links(), 0) {}
 
 bool StateDb::apply(const NodeStateUpdate& nsu) {
   if (validate_nsu(nsu) != NsuValidity::kValid) {
@@ -23,13 +20,6 @@ bool StateDb::apply(const NodeStateUpdate& nsu) {
     ++rejected_stale_;
     return false;
   }
-  // Delta tracking: an origin's demand rows changed if this NSU's advert
-  // list differs from the one it replaces (first-heard counts as a
-  // change -- the previous recompute saw no rows from it).
-  if (nsu.origin < delta_origins_.size() &&
-      (it == latest_.end() || !(it->second.demands == nsu.demands))) {
-    delta_origins_[nsu.origin] = 1;
-  }
   latest_[nsu.origin] = nsu;
   apply_to_view(nsu);
   ++accepted_;
@@ -39,12 +29,9 @@ bool StateDb::apply(const NodeStateUpdate& nsu) {
 void StateDb::apply_to_view(const NodeStateUpdate& nsu) {
   for (const LinkAdvert& la : nsu.links) {
     if (la.link >= view_.num_links()) continue;  // unknown inventory
-    if (view_.link(la.link).up != la.up) delta_links_[la.link] = 1;
     view_.set_link_up(la.link, la.up);
     if (la.capacity_gbps > 0) {
       // Partial capacity loss/restoration is advertised like liveness.
-      if (view_.link(la.link).capacity_gbps != la.capacity_gbps)
-        delta_links_[la.link] = 1;
       view_.set_link_capacity(la.link, la.capacity_gbps);
     }
     if (la.sublabel != 0) sublabels_[la.link] = la.sublabel;
@@ -55,19 +42,39 @@ void StateDb::apply_to_view(const NodeStateUpdate& nsu) {
 }
 
 te::ViewDelta StateDb::take_delta() {
+  static const std::vector<DemandAdvert> kNoRows;
   te::ViewDelta delta;
-  delta.full = delta_full_;
-  for (std::size_t l = 0; l < delta_links_.size(); ++l) {
-    if (delta_links_[l]) delta.changed_links.push_back(
-        static_cast<topo::LinkId>(l));
+  delta.full = !has_baseline_;
+  if (has_baseline_) {
+    for (std::size_t l = 0; l < view_.num_links(); ++l) {
+      const topo::Link& link = view_.link(static_cast<topo::LinkId>(l));
+      const LinkBaseline& base = base_links_[l];
+      if (base.up != link.up || base.capacity_gbps != link.capacity_gbps)
+        delta.changed_links.push_back(static_cast<topo::LinkId>(l));
+    }
+    // Ascending origin order, so every router derives the identical
+    // delta from the identical digest.
+    for (std::size_t n = 0; n < view_.num_nodes(); ++n) {
+      const auto origin = static_cast<topo::NodeId>(n);
+      const auto now_it = latest_.find(origin);
+      const auto& now =
+          now_it == latest_.end() ? kNoRows : now_it->second.demands;
+      const auto base_it = base_demands_.find(origin);
+      const auto& before =
+          base_it == base_demands_.end() ? kNoRows : base_it->second;
+      if (!(now == before)) delta.changed_demand_origins.push_back(origin);
+    }
   }
-  for (std::size_t n = 0; n < delta_origins_.size(); ++n) {
-    if (delta_origins_[n]) delta.changed_demand_origins.push_back(
-        static_cast<topo::NodeId>(n));
+  base_links_.resize(view_.num_links());
+  for (std::size_t l = 0; l < view_.num_links(); ++l) {
+    const topo::Link& link = view_.link(static_cast<topo::LinkId>(l));
+    base_links_[l] = LinkBaseline{link.up, link.capacity_gbps};
   }
-  delta_full_ = false;
-  std::fill(delta_links_.begin(), delta_links_.end(), 0);
-  std::fill(delta_origins_.begin(), delta_origins_.end(), 0);
+  base_demands_.clear();
+  for (const auto& [origin, nsu] : latest_) {
+    if (!nsu.demands.empty()) base_demands_[origin] = nsu.demands;
+  }
+  has_baseline_ = true;
   return delta;
 }
 

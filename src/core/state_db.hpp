@@ -71,12 +71,22 @@ class StateDb {
   // NSU database (the restart technique of IS-IS [55]).
   void load_from(const StateDb& neighbor);
 
-  // The accumulated view changes since the previous take_delta() call
-  // (links whose liveness/capacity changed, origins whose demand
-  // adverts changed), for warm-starting the TE recompute. The first
-  // call -- and any call before an NSU was ever applied -- returns a
-  // `full` delta, meaning "no usable baseline". Taking the delta resets
-  // the accumulation.
+  // The view changes since the previous take_delta() call (links whose
+  // liveness/capacity changed, origins whose demand adverts changed),
+  // for warm-starting the TE recompute. The first call returns a `full`
+  // delta, meaning "no usable baseline". Taking the delta refreshes the
+  // baseline.
+  //
+  // The delta is computed by *diffing* the current state against a
+  // snapshot of the state at the previous call -- deliberately not by
+  // accumulating marks during apply(). The accumulated form is a
+  // function of the NSU arrival history, which lossy/reordered flooding
+  // makes receiver-specific: a flap's down-NSU arriving after its up-NSU
+  // is rejected as stale and marks nothing, so two routers with
+  // identical digests could warm-solve different released sets and
+  // their headends jointly overcommit a link. The snapshot diff is a
+  // pure function of two digest-agreed states, preserving
+  // identical-views => identical-solutions under warm start.
   te::ViewDelta take_delta();
 
  private:
@@ -90,11 +100,15 @@ class StateDb {
   std::size_t rejected_stale_ = 0;
   std::size_t rejected_invalid_ = 0;
 
-  // Pending view delta, accumulated by apply_to_view as bitmasks (bounded
-  // memory however many NSUs arrive between recomputes).
-  bool delta_full_ = true;
-  std::vector<char> delta_links_;    // by LinkId
-  std::vector<char> delta_origins_;  // by NodeId
+  // Baseline for take_delta(): the dynamic state as of the previous
+  // call (bounded memory however many NSUs arrive between recomputes).
+  struct LinkBaseline {
+    bool up = false;
+    double capacity_gbps = 0.0;
+  };
+  bool has_baseline_ = false;
+  std::vector<LinkBaseline> base_links_;  // by LinkId
+  std::unordered_map<topo::NodeId, std::vector<DemandAdvert>> base_demands_;
 };
 
 }  // namespace dsdn::core

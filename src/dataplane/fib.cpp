@@ -30,6 +30,13 @@ void IngressFib::set_routes(topo::NodeId egress,
 
 void IngressFib::clear_routes() { encap_.clear(); }
 
+const EncapEntry* IngressFib::routes_for(topo::NodeId egress,
+                                         metrics::PriorityClass priority)
+    const {
+  const auto it = encap_.find({egress, static_cast<int>(priority)});
+  return it == encap_.end() ? nullptr : &it->second;
+}
+
 std::optional<topo::NodeId> IngressFib::egress_for(
     std::uint32_t dst_ip) const {
   return prefixes_.lookup(dst_ip);

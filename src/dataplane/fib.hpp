@@ -51,6 +51,17 @@ class IngressFib {
   std::size_t num_prefixes() const { return prefixes_.size(); }
   std::size_t num_encap_entries() const { return encap_.size(); }
 
+  // Introspection for invariant checkers / status renderers: the routes
+  // currently installed for one (egress, class), or null when none are.
+  const EncapEntry* routes_for(topo::NodeId egress,
+                               metrics::PriorityClass priority) const;
+  // The full stage-2 table, keyed by (egress, class). Deterministic
+  // iteration order (std::map) so checkers walking it stay reproducible.
+  const std::map<std::pair<topo::NodeId, int>, EncapEntry>& encap_table()
+      const {
+    return encap_;
+  }
+
  private:
   topo::PrefixTable prefixes_;
   std::map<std::pair<topo::NodeId, int>, EncapEntry> encap_;

@@ -74,6 +74,25 @@ LabelStack encode_sublabel_route(const te::Path& path,
   return LabelStack(std::move(labels));
 }
 
+std::vector<Sublabel> decode_sublabel_route(const LabelStack& stack) {
+  std::vector<Sublabel> out;
+  out.reserve(stack.depth() * 2);
+  const auto& labels = stack.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto [s1, s2] = unpack_sublabels(labels[i]);
+    if (s1 == kNullSublabel)
+      throw std::invalid_argument("null first sublabel in stack");
+    out.push_back(s1);
+    if (s2 == kNullSublabel) {
+      if (i + 1 != labels.size())
+        throw std::invalid_argument("null pad before the final label");
+      return out;  // odd-length path: trailing pad dropped
+    }
+    out.push_back(s2);
+  }
+  return out;
+}
+
 SublabelFib SublabelFib::build(const topo::Topology& topo, topo::NodeId node,
                                const SublabelAssignment& a) {
   SublabelFib fib;

@@ -56,6 +56,13 @@ std::pair<Sublabel, Sublabel> unpack_sublabels(Label label);
 LabelStack encode_sublabel_route(const te::Path& path,
                                  const SublabelAssignment& assignment);
 
+// Inverse of encode_sublabel_route (for tests / debugging): unpacks the
+// stack back into the flat sublabel sequence, dropping the trailing null
+// pad. Throws std::invalid_argument on a malformed stack (a null
+// sublabel anywhere but the final pad position -- no valid encoding
+// produces one, since every path link carries a non-null sublabel).
+std::vector<Sublabel> decode_sublabel_route(const LabelStack& stack);
+
 enum class SublabelAction {
   kPopForward,   // concat(l_in, l_out): pop, forward on intf(l_out)
   kKeepForward,  // concat(l_out, l_next) / concat(l_out, null): keep label

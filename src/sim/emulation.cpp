@@ -1,5 +1,6 @@
 #include "sim/emulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,16 +23,27 @@ DsdnEmulation::DsdnEmulation(topo::Topology topo, traffic::TrafficMatrix tm,
   telemetry_ = std::make_unique<core::SimTelemetry>(&topo_, &tm_, prefixes_);
   controllers_.reserve(topo_.num_nodes());
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    core::ControllerConfig cc;
-    cc.self = n;
-    cc.solver_options = config_.solver_options;
-    cc.program_bypasses = config_.use_bypasses;
-    cc.bypass_strategy = config_.bypass_strategy;
-    cc.incremental_te = config_.incremental_te;
-    cc.te_diff_check = config_.te_diff_check;
-    controllers_.push_back(std::make_unique<core::Controller>(cc, topo_));
+    controllers_.push_back(make_controller(n));
   }
   dirty_.assign(topo_.num_nodes(), 0);
+}
+
+std::unique_ptr<core::Controller> DsdnEmulation::make_controller(
+    topo::NodeId n) const {
+  core::ControllerConfig cc;
+  cc.self = n;
+  cc.solver_options = config_.solver_options;
+  cc.program_bypasses = config_.use_bypasses;
+  cc.bypass_strategy = config_.bypass_strategy;
+  cc.incremental_te = config_.incremental_te;
+  cc.te_diff_check = config_.te_diff_check;
+  return std::make_unique<core::Controller>(cc, topo_);
+}
+
+void DsdnEmulation::originate_and_flood(topo::NodeId n) {
+  const auto directive = controllers_[n]->originate(telemetry_for(n));
+  dirty_[n] = 1;
+  flood(directive, n);
 }
 
 const core::Controller& DsdnEmulation::controller(topo::NodeId n) const {
@@ -163,9 +175,7 @@ void DsdnEmulation::recompute_dirty() {
 void DsdnEmulation::bootstrap() {
   DSDN_TRACE_SPAN("emu.bootstrap");
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    const auto directive = controllers_[n]->originate(telemetry_for(n));
-    dirty_[n] = 1;
-    flood(directive, n);
+    originate_and_flood(n);
   }
   run_to_quiescence();
   recompute_dirty();
@@ -176,11 +186,39 @@ void DsdnEmulation::fail_fiber(topo::LinkId fiber) {
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
   topo_.set_duplex_up(fiber, false);
-  for (topo::NodeId origin : {a, b}) {
-    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
-    dirty_[origin] = 1;
-    flood(directive, origin);
+  for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::fail_fibers(std::span<const topo::LinkId> fibers) {
+  DSDN_TRACE_SPAN("emu.fail_fibers");
+  // All member fibers go down before any origination: the incident
+  // routers then advertise the full SRLG damage in overlapping floods.
+  std::vector<topo::NodeId> origins;
+  for (topo::LinkId fiber : fibers) {
+    topo_.set_duplex_up(fiber, false);
+    for (topo::NodeId n : {topo_.link(fiber).src, topo_.link(fiber).dst}) {
+      if (std::find(origins.begin(), origins.end(), n) == origins.end())
+        origins.push_back(n);
+    }
   }
+  for (topo::NodeId origin : origins) originate_and_flood(origin);
+  run_to_quiescence();
+  recompute_dirty();
+}
+
+void DsdnEmulation::flap_fiber(topo::LinkId fiber) {
+  DSDN_TRACE_SPAN("emu.flap_fiber");
+  const topo::NodeId a = topo_.link(fiber).src;
+  const topo::NodeId b = topo_.link(fiber).dst;
+  topo_.set_duplex_up(fiber, false);
+  for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
+  // Back up before the down-NSUs quiesce: both generations are in flight
+  // together and receivers may apply them out of order (the sequence
+  // check discards whichever arrives stale).
+  topo_.set_duplex_up(fiber, true);
+  for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   run_to_quiescence();
   recompute_dirty();
 }
@@ -200,13 +238,7 @@ void DsdnEmulation::repair_fiber(topo::LinkId fiber) {
   for (const auto& directive : controllers_[b]->resync_with(*controllers_[a])) {
     flood(directive, b);
   }
-  for (topo::NodeId origin : {a, b}) {
-    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
-    dirty_[origin] = 1;
-    flood(directive, origin);
-  }
-  dirty_[a] = 1;
-  dirty_[b] = 1;
+  for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   run_to_quiescence();
   recompute_dirty();
 }
@@ -215,11 +247,7 @@ void DsdnEmulation::degrade_fiber(topo::LinkId fiber, double capacity_gbps) {
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
   topo_.set_duplex_capacity(fiber, capacity_gbps);
-  for (topo::NodeId origin : {a, b}) {
-    const auto directive = controllers_[origin]->originate(telemetry_for(origin));
-    dirty_[origin] = 1;
-    flood(directive, origin);
-  }
+  for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   run_to_quiescence();
   recompute_dirty();
 }
@@ -227,14 +255,7 @@ void DsdnEmulation::degrade_fiber(topo::LinkId fiber, double capacity_gbps) {
 void DsdnEmulation::crash_and_recover(topo::NodeId node) {
   // Fresh controller instance: empty StateDb, seq counter reset, cold
   // incremental warm state (its first recompute is a full solve).
-  core::ControllerConfig cc;
-  cc.self = node;
-  cc.solver_options = config_.solver_options;
-  cc.program_bypasses = config_.use_bypasses;
-  cc.bypass_strategy = config_.bypass_strategy;
-  cc.incremental_te = config_.incremental_te;
-  cc.te_diff_check = config_.te_diff_check;
-  controllers_[node] = std::make_unique<core::Controller>(cc, topo_);
+  controllers_[node] = make_controller(node);
 
   // Recover state from any live neighbor, then re-originate (with a
   // sequence number above anything the network has seen from us).
@@ -242,11 +263,60 @@ void DsdnEmulation::crash_and_recover(topo::NodeId node) {
   if (neighbors.empty())
     throw std::runtime_error("crash_and_recover: isolated node");
   controllers_[node]->recover_from(*controllers_[neighbors.front()]);
-  const auto directive = controllers_[node]->originate(telemetry_for(node));
-  dirty_[node] = 1;
-  flood(directive, node);
+  originate_and_flood(node);
+  run_to_quiescence();
+  // A restarted member forces a fleet-wide cold solve: warm incremental
+  // histories drift within the checker tolerance, so the fresh
+  // instance's full solve could disagree with its peers' evolved
+  // solutions -- and disagreeing headends can jointly overcommit a link
+  // (found by the scenario swarm: surge + cut + restart). Everyone
+  // resets at the same barrier and re-solves the same view identically.
+  for (auto& c : controllers_) c->reset_incremental_te();
+  recompute_dirty();
+}
+
+void DsdnEmulation::crash_and_cold_restart(topo::NodeId node) {
+  DSDN_TRACE_SPAN("emu.cold_restart");
+  controllers_[node] = make_controller(node);
+  const auto neighbors = topo_.up_neighbors(node);
+  if (neighbors.empty())
+    throw std::runtime_error("crash_and_cold_restart: isolated node");
+  // Adjacency-up resync from every live neighbor: full databases cross
+  // the wire as ordinary NSU floods; the restarted router rebuilds its
+  // StateDb from what it hears, nothing else. Receivers elsewhere
+  // discard the copies as stale, terminating the reflood.
+  for (topo::NodeId nb : neighbors) {
+    for (const auto& directive : controllers_[nb]->advertise_database()) {
+      flood(directive, nb);
+    }
+  }
+  run_to_quiescence();
+  // By now the echo of our own pre-crash NSU advanced the sequence
+  // counter: this origination supersedes the stale copy everywhere.
+  originate_and_flood(node);
+  run_to_quiescence();
+  // Same fleet-wide cold-solve rule as crash_and_recover (see there).
+  for (auto& c : controllers_) c->reset_incremental_te();
+  recompute_dirty();
+}
+
+void DsdnEmulation::scale_demands(double factor, topo::NodeId origin) {
+  DSDN_TRACE_SPAN("emu.scale_demands");
+  tm_.scale_rate(origin, factor);
+  if (origin == topo::kInvalidNode) {
+    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      originate_and_flood(n);
+    }
+  } else {
+    originate_and_flood(origin);
+  }
   run_to_quiescence();
   recompute_dirty();
+}
+
+void DsdnEmulation::set_incremental_te(bool enabled) {
+  config_.incremental_te = enabled;
+  for (auto& c : controllers_) c->set_incremental_te(enabled);
 }
 
 const core::TelemetrySource& DsdnEmulation::telemetry_for(

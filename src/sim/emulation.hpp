@@ -12,6 +12,7 @@
 // 1,000-day workloads make functional emulation impractical.
 
 #include <memory>
+#include <span>
 
 #include "core/controller.hpp"
 #include "core/introspection.hpp"
@@ -50,7 +51,10 @@ struct EmulationConfig {
   // Warm-start incremental TE recompute on every controller. Safe here
   // because the emulation recomputes all dirty controllers at the same
   // quiescent points, keeping warm-state histories in lockstep; a
-  // crashed-and-recovered controller restarts cold (full solve).
+  // member crash/restart forces a *fleet-wide* warm-state reset at the
+  // recovery barrier, because a restarted instance's cold solve may
+  // disagree with its peers' evolved solutions (bounded drift is still
+  // drift) and disagreeing headends can jointly overcommit a link.
   bool incremental_te = false;
   // Run the differential checker on every incremental recompute
   // (throws on an invariant violation). Debug/CI: one extra full solve
@@ -73,6 +77,16 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void fail_fiber(topo::LinkId fiber);
   void repair_fiber(topo::LinkId fiber);
 
+  // Correlated SRLG-style multi-failure: every fiber goes down and all
+  // incident routers originate before a *single* quiescence barrier, so
+  // the NSUs of the member failures overlap in flight.
+  void fail_fibers(std::span<const topo::LinkId> fibers);
+
+  // Link flap: down then back up with both originations in flight before
+  // one quiescence barrier -- receivers can see the up-NSU before the
+  // down-NSU (sequence numbers resolve the race).
+  void flap_fiber(topo::LinkId fiber);
+
   // Partial capacity loss (Appendix C): scales the fiber's capacity in
   // both directions; incident routers advertise the change and every
   // headend re-solves against the reduced capacity.
@@ -80,6 +94,30 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
 
   // Crashes a controller and recovers it from a live neighbor (§3.2).
   void crash_and_recover(topo::NodeId node);
+
+  // Crash plus *cold* restart: unlike crash_and_recover, nothing is
+  // copied out-of-band -- every up neighbor refloods its full database
+  // over the wire (IS-IS CSNP adjacency-up resync) and the fresh
+  // controller rebuilds its StateDb from the re-flooded NSUs alone. Its
+  // own pre-crash NSU comes back too; the controller adopts its sequence
+  // number so the post-restart origination supersedes it everywhere.
+  // Warm-start TE state is discarded with the crashed instance (the
+  // first recompute after restart is a full solve).
+  void crash_and_cold_restart(topo::NodeId node);
+
+  // Demand surge/shift: scales the oracle matrix rows originating at
+  // `origin` (every row when origin == topo::kInvalidNode) by `factor`,
+  // re-advertises the affected origins, floods to quiescence, and
+  // recomputes. Only meaningful without in-band measurement.
+  void scale_demands(double factor,
+                     topo::NodeId origin = topo::kInvalidNode);
+
+  // Flips warm-start incremental TE on every controller mid-run (the
+  // scenario harness toggles this across histories). Also updates the
+  // config used for controllers created by future crash recoveries.
+  void set_incremental_te(bool enabled);
+
+  const EmulationConfig& config() const { return config_; }
 
   // --- In-band demand measurement (§3.2) ---
   // When enabled, controllers advertise EWMA-estimated demand from
@@ -149,6 +187,8 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   const dataplane::RouterDataplane& at(topo::NodeId node) const override;
 
  private:
+  std::unique_ptr<core::Controller> make_controller(topo::NodeId n) const;
+  void originate_and_flood(topo::NodeId n);
   void flood(const core::FloodDirective& directive, topo::NodeId from);
   // One transmit attempt (attempt 0 = first try) of a serialized NSU
   // over a link; schedules deliveries and, on loss, the retransmit.

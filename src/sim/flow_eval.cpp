@@ -17,6 +17,25 @@ InstalledRouting InstalledRouting::from_solution(
   return r;
 }
 
+InstalledRouting InstalledRouting::from_dataplane(
+    const traffic::TrafficMatrix& tm,
+    const dataplane::DataplaneProvider& dataplanes) {
+  InstalledRouting r;
+  r.rows.resize(tm.size());
+  const auto& demands = tm.demands();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const traffic::Demand& d = demands[i];
+    const dataplane::EncapEntry* entry =
+        dataplanes.at(d.src).ingress.routes_for(d.dst, d.priority);
+    if (!entry) continue;  // nothing installed: scored as blackholed
+    for (const dataplane::WeightedRoute& wr : entry->routes) {
+      r.rows[i].push_back(te::WeightedPath{
+          dataplane::decode_strict_route(wr.stack), wr.weight});
+    }
+  }
+  return r;
+}
+
 namespace {
 
 // A demand's traffic on one installed path, after splicing bypasses
@@ -103,13 +122,14 @@ LossReport evaluate_loss(const topo::Topology& topo,
 
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const auto& rows = routing.rows;
+    if (demands[i].rate_gbps <= 0) continue;  // offers nothing, loses nothing
     if (i >= rows.size() || rows[i].empty()) {
       report.loss[i] = 1.0;  // nothing installed: blackholed
       continue;
     }
     for (const te::WeightedPath& wp : rows[i]) {
+      if (wp.weight <= 0) continue;  // carries no share of the demand
       const double rate = demands[i].rate_gbps * wp.weight;
-      if (rate <= 0) continue;
       EffectivePath eff =
           splice_bypasses(topo, wp.path, rate,
                           util::splitmix64(i * 2654435761u), bypasses,
@@ -132,7 +152,9 @@ LossReport evaluate_loss(const topo::Topology& topo,
     double total_offered = 0.0;
     for (int c = 0; c < metrics::kNumPriorityClasses; ++c)
       total_offered += offered[l][c];
-    if (options.strict_priority) {
+    if (!options.congestion) {
+      // Structural-only scoring: every class granted in full.
+    } else if (options.strict_priority) {
       double remaining = capacity;
       for (int c = 0; c < metrics::kNumPriorityClasses; ++c) {
         const double o = offered[l][c];
@@ -165,9 +187,13 @@ LossReport evaluate_loss(const topo::Topology& topo,
     report.loss[p.demand] += p.weight * path_loss;
     weight_seen[p.demand] += p.weight;
   }
-  // Weights might not sum to exactly 1 (paths skipped at programming
-  // time); treat missing weight as loss.
+  // Partial-install accounting: weights might not sum to 1 (routes
+  // skipped at programming time -- too deep, or install gave up). The
+  // missing share of the demand is charged as loss *proportionally*;
+  // only a demand with no installed route at all is the full blackhole
+  // handled above. A demand offering zero rate keeps loss 0 either way.
   for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].rate_gbps <= 0) continue;
     if (i < routing.rows.size() && !routing.rows[i].empty()) {
       report.loss[i] += std::max(0.0, 1.0 - weight_seen[i]);
       report.loss[i] = std::clamp(report.loss[i], 0.0, 1.0);

@@ -17,6 +17,7 @@
 
 #include <optional>
 
+#include "dataplane/forwarder.hpp"
 #include "dataplane/frr.hpp"
 #include "metrics/slo.hpp"
 #include "te/types.hpp"
@@ -25,11 +26,24 @@
 namespace dsdn::sim {
 
 // Installed routing state: one row per demand (same order as the
-// TrafficMatrix).
+// TrafficMatrix). A row's weights may sum below 1 when only part of the
+// demand's route set is installed (programming skipped too-deep or
+// gate-exhausted routes); evaluate_loss charges the missing weight as
+// loss *proportionally* -- only a demand with no installed route at all
+// is scored as fully blackholed.
 struct InstalledRouting {
   std::vector<std::vector<te::WeightedPath>> rows;
 
   static InstalledRouting from_solution(const te::Solution& solution);
+
+  // What the network has *actually* programmed: decodes each demand's
+  // headend encap routes (stage-2 FIB) back into paths. Unlike
+  // from_solution, this sees partial installs, stale routes left over a
+  // dead link, and missing entries -- which is exactly what the scenario
+  // invariant checkers need to audit.
+  static InstalledRouting from_dataplane(
+      const traffic::TrafficMatrix& tm,
+      const dataplane::DataplaneProvider& dataplanes);
 };
 
 struct LossReport {
@@ -51,6 +65,13 @@ struct LossOptions {
   // dSDN router knows from NSU-advertised utilization). When null,
   // selection sees raw link capacities.
   const std::vector<double>* bypass_residual = nullptr;
+  // When false, links grant every class in full: loss counts only
+  // *structural* failures (no installed route, paths over down links
+  // without a bypass, missing install weight). The invariant checkers use
+  // this to separate programming bugs from legitimate strict-priority
+  // starvation -- under oversubscription a scavenger-class demand can
+  // lose everything on perfectly healthy, correctly programmed routes.
+  bool congestion = true;
 };
 
 LossReport evaluate_loss(const topo::Topology& topo,

@@ -1,0 +1,245 @@
+#include "sim/invariants.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "sim/flow_eval.hpp"
+#include "te/incremental.hpp"
+#include "util/format.hpp"
+
+namespace dsdn::sim {
+namespace {
+
+// Nodes reachable from `src` over up links in the ground-truth topology.
+std::vector<char> reachable_from(const topo::Topology& topo,
+                                 topo::NodeId src) {
+  std::vector<char> seen(topo.num_nodes(), 0);
+  std::deque<topo::NodeId> frontier{src};
+  seen[src] = 1;
+  while (!frontier.empty()) {
+    const topo::NodeId at = frontier.front();
+    frontier.pop_front();
+    for (topo::LinkId lid : topo.node(at).out_links) {
+      const topo::Link& l = topo.link(lid);
+      if (!l.up || seen[l.dst]) continue;
+      seen[l.dst] = 1;
+      frontier.push_back(l.dst);
+    }
+  }
+  return seen;
+}
+
+void check_converged_views(const DsdnEmulation& emu, InvariantReport& out) {
+  ++out.checks_run;
+  if (!emu.views_converged()) {
+    out.violations.push_back("views diverged: StateDb digests differ");
+    return;
+  }
+  // The agreed view must also be *right*: per-link liveness equal to
+  // ground truth (identical-but-wrong views would satisfy the digest).
+  const topo::Topology& truth = emu.network();
+  const topo::Topology& view = emu.controller(0).state().view();
+  for (std::size_t l = 0; l < truth.num_links(); ++l) {
+    ++out.checks_run;
+    const auto lid = static_cast<topo::LinkId>(l);
+    if (view.link(lid).up != truth.link(lid).up) {
+      out.violations.push_back(
+          "converged view wrong about link " + std::to_string(l) +
+          ": view says " + (view.link(lid).up ? "up" : "down") +
+          ", ground truth " + (truth.link(lid).up ? "up" : "down"));
+    }
+  }
+}
+
+// Replays every installed headend route label-by-label through the
+// transit FIBs of the routers it visits: no loops, no down links, no
+// table misses, ends at the route's egress.
+void check_fib_walk(const DsdnEmulation& emu, InvariantReport& out) {
+  const topo::Topology& topo = emu.network();
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const auto& [key, entry] : emu.at(n).ingress.encap_table()) {
+      const topo::NodeId egress = key.first;
+      std::size_t route_idx = 0;
+      for (const dataplane::WeightedRoute& wr : entry.routes) {
+        ++out.checks_run;
+        const std::string where =
+            "router " + std::to_string(n) + " route " +
+            std::to_string(route_idx++) + " to egress " +
+            std::to_string(egress) + " class " + std::to_string(key.second);
+        std::vector<char> visited(topo.num_nodes(), 0);
+        topo::NodeId at = n;
+        visited[at] = 1;
+        bool broken = false;
+        for (dataplane::Label label : wr.stack.labels()) {
+          const auto next = emu.at(at).transit.lookup(label);
+          if (!next) {
+            out.violations.push_back(where + ": transit FIB miss at node " +
+                                     std::to_string(at));
+            broken = true;
+            break;
+          }
+          const topo::Link& l = topo.link(*next);
+          if (l.src != at) {
+            out.violations.push_back(where +
+                                     ": transit entry leaves from node " +
+                                     std::to_string(l.src) + ", not " +
+                                     std::to_string(at));
+            broken = true;
+            break;
+          }
+          if (!l.up) {
+            out.violations.push_back(
+                where + ": installed route crosses down link " +
+                std::to_string(*next) + " (stale FIB past convergence)");
+            broken = true;
+            break;
+          }
+          at = l.dst;
+          if (visited[at]) {
+            out.violations.push_back(where + ": forwarding loop via node " +
+                                     std::to_string(at));
+            broken = true;
+            break;
+          }
+          visited[at] = 1;
+        }
+        if (!broken && at != egress) {
+          out.violations.push_back(where + ": route ends at node " +
+                                   std::to_string(at) +
+                                   " short of its egress");
+        }
+      }
+    }
+  }
+}
+
+// flow_eval over the FIB-derived routing: demands the headend *intended*
+// to carry (nonzero allocation in its own solution) must not be
+// *structurally* blackholed after reconvergence while their endpoints are
+// connected -- no installed route, or every installed path dead. The
+// structural pass disables congestion scoring: under oversubscription
+// (flow_eval offers full demand rates, the solver admits less) strict
+// priority legitimately starves scavenger-class demands to 100% loss on
+// healthy, correctly programmed routes. A zero allocation is likewise
+// fine (admission control, not a programming bug).
+void check_no_blackholes(const DsdnEmulation& emu, InvariantReport& out) {
+  const topo::Topology& topo = emu.network();
+  const traffic::TrafficMatrix& tm = emu.demands();
+  const InstalledRouting routing =
+      InstalledRouting::from_dataplane(tm, emu);
+  const LossReport congested = evaluate_loss(topo, tm, routing);
+  LossOptions structural_only;
+  structural_only.congestion = false;
+  const LossReport report =
+      evaluate_loss(topo, tm, routing, nullptr, structural_only);
+
+  // Headend intent: per source, (dst, class) -> allocated rate from its
+  // own installed solution.
+  std::vector<std::map<std::pair<topo::NodeId, int>, double>> intent(
+      topo.num_nodes());
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const te::Allocation* a :
+         emu.controller(n).last_solution().originating_at(n)) {
+      intent[n][{a->demand.dst, static_cast<int>(a->demand.priority)}] +=
+          a->allocated_gbps;
+    }
+  }
+
+  std::vector<std::vector<char>> reach(topo.num_nodes());
+  const auto& demands = tm.demands();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].rate_gbps <= 0) continue;
+    ++out.checks_run;
+    out.max_demand_loss = std::max(out.max_demand_loss, congested.loss[i]);
+    if (report.loss[i] < 1.0 - 1e-9) continue;
+    const auto it = intent[demands[i].src].find(
+        {demands[i].dst, static_cast<int>(demands[i].priority)});
+    if (it == intent[demands[i].src].end() || it->second <= 1e-9) continue;
+    if (reach[demands[i].src].empty()) {
+      reach[demands[i].src] = reachable_from(topo, demands[i].src);
+    }
+    if (!reach[demands[i].src][demands[i].dst]) continue;  // partitioned
+    out.violations.push_back(
+        "persistent blackhole: demand " + std::to_string(i) + " (" +
+        std::to_string(demands[i].src) + " -> " +
+        std::to_string(demands[i].dst) + " class " +
+        std::to_string(static_cast<int>(demands[i].priority)) +
+        ") has no working installed path while its endpoints are connected "
+        "and its headend allocated " +
+        util::format_double(it->second, 3) + "G");
+  }
+}
+
+// Sums every router's own installed allocations: per-link placed load
+// within capacity (+slack), exactly zero on down links.
+void check_capacity_conservation(const DsdnEmulation& emu,
+                                 const InvariantOptions& options,
+                                 InvariantReport& out) {
+  const topo::Topology& topo = emu.network();
+  std::vector<double> placed(topo.num_links(), 0.0);
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const te::Solution& solution = emu.controller(n).last_solution();
+    for (const te::Allocation* a : solution.originating_at(n)) {
+      for (const te::WeightedPath& wp : a->paths) {
+        const double rate = a->allocated_gbps * wp.weight;
+        if (rate <= 0) continue;
+        for (topo::LinkId lid : wp.path.links) placed[lid] += rate;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    ++out.checks_run;
+    const topo::Link& link = topo.link(static_cast<topo::LinkId>(l));
+    if (!link.up && placed[l] > options.capacity_slack_gbps) {
+      out.violations.push_back(
+          "allocated load " + util::format_double(placed[l], 3) +
+          "G on down link " + std::to_string(l));
+    } else if (placed[l] > link.capacity_gbps + options.capacity_slack_gbps) {
+      out.violations.push_back(
+          "link " + std::to_string(l) + " overcommitted: " +
+          util::format_double(placed[l], 3) + "G placed on " +
+          util::format_double(link.capacity_gbps, 3) + "G capacity");
+    }
+  }
+}
+
+// One router's history-evolved solution vs a from-scratch full solve of
+// its current view (the eventual-convergence contract of §3.1, extended
+// across arbitrary recompute histories by te::DiffChecker).
+void check_cold_solve_parity(const DsdnEmulation& emu,
+                             const InvariantOptions& options,
+                             InvariantReport& out) {
+  const core::Controller& c = emu.controller(0);
+  if (c.recomputes() == 0) return;
+  ++out.checks_run;
+  te::DiffChecker::Options dc;
+  dc.throughput_tolerance = options.throughput_tolerance;
+  dc.capacity_slack_gbps = options.capacity_slack_gbps;
+  const te::DiffChecker::Report report = te::DiffChecker::check(
+      c.state().view(), c.state().demands(), c.last_solution(),
+      emu.config().solver_options, dc);
+  for (const std::string& v : report.violations) {
+    out.violations.push_back("cold-solve parity: " + v);
+  }
+}
+
+}  // namespace
+
+InvariantReport check_invariants(const DsdnEmulation& emu,
+                                 const InvariantOptions& options) {
+  InvariantReport out;
+  check_converged_views(emu, out);
+  // A diverged network fails fast: the remaining checkers assume an
+  // agreed view (e.g. parity reads controller 0 as a representative).
+  if (!out.ok()) return out;
+  check_fib_walk(emu, out);
+  check_no_blackholes(emu, out);
+  check_capacity_conservation(emu, options, out);
+  if (options.check_solution_parity) {
+    check_cold_solve_parity(emu, options, out);
+  }
+  return out;
+}
+
+}  // namespace dsdn::sim

@@ -243,8 +243,8 @@ Solution IncrementalSolver::solve(const topo::Topology& topo,
   for (topo::LinkId l : delta.changed_links) {
     if (l >= topo.num_links()) continue;
     link_changed[l] = 1;
-    // A repaired link or a capacity restoration frees headroom that
-    // previously starved demands may claim.
+    // A repaired link or a capacity restoration frees headroom; see the
+    // full-solve fallback below.
     const topo::Link& link = topo.link(l);
     if (link.up &&
         (!prev_link_up_[l] || link.capacity_gbps > prev_link_cap_[l] + 1e-9))
@@ -253,6 +253,46 @@ Solution IncrementalSolver::solve(const topo::Topology& topo,
   std::vector<char> origin_changed(topo.num_nodes(), 0);
   for (topo::NodeId n : delta.changed_demand_origins) {
     if (n < topo.num_nodes()) origin_changed[n] = 1;
+  }
+
+  // Demand churn frees capacity too: a changed origin whose row now
+  // offers less than the previous solve *allocated* it gives that
+  // capacity back when re-placed.
+  if (!capacity_freed && !delta.changed_demand_origins.empty()) {
+    std::unordered_map<std::uint64_t, double> now_rate;
+    for (const traffic::Demand& d : tm.demands()) {
+      if (origin_changed[d.src])
+        now_rate[demand_key(d, topo.num_nodes())] = d.rate_gbps;
+    }
+    for (const Allocation& prev : prev_.allocations) {
+      if (prev.demand.src >= topo.num_nodes() ||
+          !origin_changed[prev.demand.src])
+        continue;
+      const auto it = now_rate.find(demand_key(prev.demand,
+                                               topo.num_nodes()));
+      const double now = it == now_rate.end() ? 0.0 : it->second;
+      if (prev.allocated_gbps > now + 1e-9) {
+        capacity_freed = true;
+        break;
+      }
+    }
+  }
+
+  // Freed capacity -- a repaired link, a capacity restoration, or a
+  // demand giving back headroom -- cascades through the strict-priority
+  // waterfill: kept allocations sitting on detour paths block capacity
+  // a cold solve would place through the freed links, and the displaced
+  // demands free capacity elsewhere in turn. No locally-computed
+  // released set is parity-safe (the scenario swarm measured 10%
+  // throughput drift after an SRLG repair under surges, and 5.7% after
+  // a surge *down*), so take the full solve. Warm speedup survives in
+  // the latency-critical direction: failures and demand growth.
+  if (capacity_freed) {
+    local.fallback = true;
+    ++fallbacks_;
+    m_fallbacks.inc();
+    m_full.inc();
+    return finish(full_solve(topo, tm, local));
   }
 
   // ---- Pick the affected demand set.
@@ -284,14 +324,6 @@ Solution IncrementalSolver::solve(const topo::Topology& topo,
             }
             if (hit) break;
           }
-          // Unsatisfied demands may claim capacity freed by a repair.
-          if (!hit && capacity_freed &&
-              prev.allocated_gbps <
-                  d.rate_gbps -
-                      std::max(options_.solver.epsilon_gbps,
-                               options_.solver.satisfied_tolerance *
-                                   d.rate_gbps))
-            hit = true;
         }
       }
     }

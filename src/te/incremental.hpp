@@ -11,10 +11,12 @@
 //   1. keeps every allocation whose paths touch no changed link and
 //      whose demand did not change;
 //   2. releases the affected demands (changed-demand origins, new or
-//      re-rated demands, path-touches-changed-link) -- plus, when a
-//      repair or capacity restoration freed capacity, every demand the
-//      previous solve left unsatisfied, since it may now claim the
-//      freed headroom;
+//      re-rated demands, path-touches-changed-link); any change that
+//      *frees* capacity -- a repair, a capacity restoration, or a
+//      demand now offering less than its previous allocation -- instead
+//      falls back to a full solve, because freed capacity cascades
+//      through the strict-priority waterfill and no locally-computed
+//      released set keeps cold-solve parity;
 //   3. re-waterfills only the released set against the residual
 //      capacity left by the kept allocations (the full solver with a
 //      residual override);

@@ -34,6 +34,13 @@ TrafficMatrix TrafficMatrix::scaled(double factor) const {
   return out;
 }
 
+void TrafficMatrix::scale_rate(topo::NodeId src, double factor) {
+  if (factor < 0) throw std::invalid_argument("scale_rate: negative factor");
+  for (Demand& d : demands_) {
+    if (src == topo::kInvalidNode || d.src == src) d.rate_gbps *= factor;
+  }
+}
+
 std::vector<Demand> TrafficMatrix::from(topo::NodeId src) const {
   std::vector<Demand> out;
   for (const Demand& d : demands_) {

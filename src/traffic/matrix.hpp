@@ -38,6 +38,11 @@ class TrafficMatrix {
   // multiplier experiments).
   TrafficMatrix scaled(double factor) const;
 
+  // In-place rescale of the rows originating at `src` -- or every row
+  // when src == topo::kInvalidNode (demand surge/shift events in the
+  // scenario harness).
+  void scale_rate(topo::NodeId src, double factor);
+
   // Demands originating at `src`, i.e. the rows a headend places.
   std::vector<Demand> from(topo::NodeId src) const;
 

@@ -1,0 +1,170 @@
+// Seed-swarm runner for the deterministic scenario harness: N seeds x
+// {Abilene, B4-like, B2-small}, each seed a long-horizon churn schedule
+// executed with the full invariant suite after every event. On the
+// first failing seed it prints the minimal event-schedule prefix (greedy
+// event bisection) plus the exact command to replay it, and exits 1.
+//
+//   scenario_swarm [--topo abilene|b4|b2small|all] [--seeds N]
+//                  [--start S] [--events N] [--lossy] [--bug]
+//                  [--no-parity] [--artifact-dir DIR]
+//
+// --bug plants the kSkipReprogramOnCut fault (a router that skips
+// down-link zeroing) to prove the swarm catches real bugs and shrinks
+// them; the run is then *expected* to fail.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "topo/synthetic.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+namespace {
+
+using namespace dsdn;
+
+struct SwarmConfig {
+  const char* name;
+  topo::Topology topo;
+  traffic::TrafficMatrix tm;
+  sim::ScenarioOptions options;
+};
+
+SwarmConfig make_config(const std::string& name, std::size_t n_events,
+                        bool lossy, bool bug, bool parity) {
+  SwarmConfig cfg;
+  cfg.name = "";
+  if (name == "abilene") {
+    cfg.topo = topo::make_abilene();
+    traffic::GravityParams gp;
+    gp.target_max_utilization = 0.5;
+    cfg.tm = traffic::generate_gravity(cfg.topo, gp);
+  } else if (name == "b4") {
+    cfg.topo = topo::make_b4_like();
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.15;
+    gp.target_max_utilization = 0.5;
+    cfg.tm = traffic::generate_gravity(cfg.topo, gp);
+  } else if (name == "b2small") {
+    topo::B2LikeParams bp;
+    bp.scale = 0.125;  // ~120 routers: B2's style at CI-budget size
+    cfg.topo = topo::make_b2_like(bp);
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.05;
+    gp.target_max_utilization = 0.5;
+    cfg.tm = traffic::generate_gravity(cfg.topo, gp);
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  cfg.options.n_events = n_events;
+  cfg.options.lossy_flooding = lossy;
+  cfg.options.invariants.check_solution_parity = parity;
+  if (bug) cfg.options.bug = sim::ScenarioBug::kSkipReprogramOnCut;
+  return cfg;
+}
+
+// Default event counts scale down with topology size: every event pays
+// a full reconvergence (flood + recompute on every router).
+std::size_t default_events(const std::string& name) {
+  if (name == "abilene") return 24;
+  if (name == "b4") return 10;
+  return 8;  // b2small
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> topos = {"abilene"};
+  std::size_t n_seeds = 32;
+  std::uint64_t start = 1;
+  std::size_t events = 0;  // 0 = per-topology default
+  bool lossy = false;
+  bool bug = false;
+  bool parity = true;
+  std::string artifact_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--topo") {
+      const std::string t = next();
+      topos = t == "all" ? std::vector<std::string>{"abilene", "b4",
+                                                    "b2small"}
+                         : std::vector<std::string>{t};
+    } else if (arg == "--seeds") {
+      n_seeds = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--events") {
+      events = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--lossy") {
+      lossy = true;
+    } else if (arg == "--bug") {
+      bug = true;
+    } else if (arg == "--no-parity") {
+      parity = false;
+    } else if (arg == "--artifact-dir") {
+      artifact_dir = next();
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bool failed = false;
+  for (const std::string& name : topos) {
+    const std::size_t n_events = events ? events : default_events(name);
+    SwarmConfig cfg = make_config(name, n_events, lossy, bug, parity);
+    std::printf("[%s] %zu nodes, %zu links, %zu demands; %zu seeds x %zu "
+                "events%s%s\n",
+                name.c_str(), cfg.topo.num_nodes(), cfg.topo.num_links(),
+                cfg.tm.size(), n_seeds, n_events, lossy ? ", lossy" : "",
+                bug ? ", bug planted" : "");
+    std::fflush(stdout);
+
+    const std::optional<sim::SwarmFailure> failure = sim::run_seed_swarm(
+        cfg.topo, cfg.tm, cfg.options, start, n_seeds);
+    if (failure) {
+      failed = true;
+      std::printf("[%s] FAIL at seed %llu "
+                  "(first violation after event #%d)\n%s",
+                  name.c_str(),
+                  static_cast<unsigned long long>(failure->seed),
+                  failure->result.first_violation_event,
+                  failure->reproducer.c_str());
+      std::printf("  replay: scenario_swarm --topo %s --seeds 1 --start "
+                  "%llu --events %zu%s%s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(failure->seed), n_events,
+                  lossy ? " --lossy" : "", bug ? " --bug" : "");
+      if (bug) continue;  // expected to fail; keep demonstrating
+      break;
+    }
+    std::printf("[%s] PASS: seeds [%llu, %llu) clean\n", name.c_str(),
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(start + n_seeds));
+
+    if (!artifact_dir.empty()) {
+      const sim::Scenario scenario(cfg.topo, cfg.tm, cfg.options, start);
+      const sim::ScenarioResult result = scenario.run();
+      const obs::RunArtifact artifact =
+          scenario.artifact(result, "scenario_" + name);
+      if (!artifact.write(artifact_dir)) {
+        std::fprintf(stderr, "[%s] artifact write failed\n", name.c_str());
+      }
+    }
+  }
+  return failed ? 1 : 0;
+}

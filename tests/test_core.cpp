@@ -168,10 +168,41 @@ TEST(StateDb, TakeDeltaStartsFullThenTracksChanges) {
   EXPECT_FALSE(d.full);
   ASSERT_EQ(d.changed_links.size(), 1u);
   EXPECT_EQ(d.changed_links[0], topo.find_link(1, 2));
-  // First-heard origins count as demand changes even with no rows: the
-  // previous recompute had never seen them.
-  ASSERT_EQ(d.changed_demand_origins.size(), 1u);
-  EXPECT_EQ(d.changed_demand_origins[0], 1u);
+  // A first-heard origin with no demand rows is NOT a demand change: the
+  // assembled traffic matrix is identical either way. (The delta is a
+  // diff of recompute-to-recompute state, not of arrival events.)
+  EXPECT_TRUE(d.changed_demand_origins.empty());
+}
+
+TEST(StateDb, TakeDeltaIsArrivalOrderInvariant) {
+  // A flap's down-NSU and up-NSU can arrive in either order under lossy
+  // flooding (the late down-NSU is rejected as stale). Both receivers
+  // end with the same digest, and they MUST derive the same delta from
+  // it -- the delta picks the warm solver's released set, and differing
+  // released sets let two headends jointly overcommit a link (found by
+  // the scenario swarm, seed 56 on lossy Abilene).
+  const auto topo = ring6();
+  StateDb in_order(topo);
+  StateDb reordered(topo);
+  NodeStateUpdate down = content_nsu(topo, 1, 2, 100.0);
+  down.links[0].up = false;
+  const NodeStateUpdate up = content_nsu(topo, 1, 3, 100.0);
+  in_order.take_delta();
+  reordered.take_delta();
+
+  EXPECT_TRUE(in_order.apply(down));
+  EXPECT_TRUE(in_order.apply(up));
+  EXPECT_TRUE(reordered.apply(up));
+  EXPECT_FALSE(reordered.apply(down));  // stale
+  ASSERT_EQ(in_order.digest(), reordered.digest());
+
+  const te::ViewDelta a = in_order.take_delta();
+  const te::ViewDelta b = reordered.take_delta();
+  EXPECT_EQ(a.changed_links, b.changed_links);
+  EXPECT_EQ(a.changed_demand_origins, b.changed_demand_origins);
+  // And since the flap netted out, neither reports the link as changed:
+  // the previous solution is still valid for the (unchanged) view.
+  EXPECT_TRUE(a.empty());
 }
 
 TEST(StateDb, TakeDeltaIgnoresNoopAndStaleUpdates) {

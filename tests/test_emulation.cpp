@@ -103,6 +103,61 @@ TEST(Emulation, CrashRecoveryRejoinsNetwork) {
   EXPECT_EQ(r.outcome, ForwardOutcome::kDelivered);
 }
 
+TEST(Emulation, ColdRestartRebuildsStateFromReflooding) {
+  // Unlike crash_and_recover (out-of-band neighbor DB copy), a cold
+  // restart rebuilds the StateDb purely from NSUs the neighbors reflood
+  // over the wire, and discards all warm-start TE state.
+  topo::Topology topo = topo::make_abilene();
+  traffic::GravityParams gp;
+  gp.target_max_utilization = 0.5;
+  auto tm = traffic::generate_gravity(topo, gp);
+  EmulationConfig cfg;
+  cfg.incremental_te = true;
+  DsdnEmulation emu(topo, std::move(tm), cfg);
+  emu.bootstrap();
+
+  // Churn once so every controller holds warm solver state.
+  const topo::LinkId fiber = emu.network().find_link(0, 1);
+  emu.fail_fiber(fiber);
+  emu.repair_fiber(fiber);
+  {
+    const te::IncrementalSolver* inc = emu.controller(3).incremental_solver();
+    ASSERT_NE(inc, nullptr);
+    ASSERT_GT(inc->incremental_solves(), 0u);
+  }
+  const std::uint64_t seq_before = emu.controller(3).state().seq_of(3);
+  ASSERT_GT(seq_before, 0u);
+
+  emu.crash_and_cold_restart(3);
+
+  // Back in agreement with everyone, with a full database again.
+  EXPECT_TRUE(emu.views_converged());
+  const core::Controller& restarted = emu.controller(3);
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    EXPECT_GT(restarted.state().seq_of(n), 0u) << "missing origin " << n;
+  }
+  // Its own-LSP sequence advanced past the echoed pre-crash NSU, so the
+  // post-restart origination superseded the stale copy everywhere.
+  EXPECT_GT(restarted.state().seq_of(3), seq_before);
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    EXPECT_EQ(emu.controller(n).state().seq_of(3),
+              restarted.state().seq_of(3));
+  }
+
+  // Warm-start state died with the old instance: the fresh controller's
+  // first recompute was a cold full solve.
+  const te::IncrementalSolver* inc = restarted.incremental_solver();
+  ASSERT_NE(inc, nullptr);
+  EXPECT_GE(inc->full_solves(), 1u);
+  EXPECT_EQ(inc->incremental_solves(), 0u);
+
+  // And the restarted router forwards like everyone else.
+  const auto r = emu.send_packet(3, emu.address_of(7));
+  EXPECT_EQ(r.outcome, ForwardOutcome::kDelivered);
+  const auto inbound = emu.send_packet(0, emu.address_of(3));
+  EXPECT_EQ(inbound.outcome, ForwardOutcome::kDelivered);
+}
+
 TEST(Emulation, FrrCoversWindowBetweenFailureAndReconvergence) {
   // Program routes on the healthy network, cut a fiber *without*
   // letting headends reconverge (we bypass fail_fiber's NSU flood), and

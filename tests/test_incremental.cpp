@@ -133,7 +133,7 @@ TEST(IncrementalSolver, SingleLinkFailureReleasesOnlyTouchedDemands) {
   EXPECT_TRUE(report.ok()) << report.violations.front();
 }
 
-TEST(IncrementalSolver, RepairReleasesUnsatisfiedDemands) {
+TEST(IncrementalSolver, RepairTriggersFullSolve) {
   auto t = diamond();
   traffic::TrafficMatrix tm;
   tm.add({0, 3, PriorityClass::kHigh, 15.0});  // needs both 10G branches
@@ -149,13 +149,14 @@ TEST(IncrementalSolver, RepairReleasesUnsatisfiedDemands) {
   const Solution degraded = inc.solve(t, tm, link_delta(t, fiber));
   EXPECT_NEAR(degraded.allocations[0].allocated_gbps, 10.0, 0.1);
 
-  // Repair: the demand took no path across the repaired link anymore,
-  // but it is unsatisfied, so the freed capacity must re-release it.
+  // Repair: freed capacity cascades through the waterfill (kept
+  // allocations on detours would block what a cold solve places through
+  // the restored link), so the solver must take the full solve.
   t.set_duplex_up(fiber, true);
   IncrementalStats stats;
   const Solution repaired = inc.solve(t, tm, link_delta(t, fiber), &stats);
-  EXPECT_TRUE(stats.incremental);
-  EXPECT_EQ(stats.affected_demands, 1u);
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_TRUE(stats.fallback);
   EXPECT_NEAR(repaired.allocations[0].allocated_gbps, 15.0, 0.1);
 }
 
@@ -205,8 +206,10 @@ TEST(IncrementalSolver, DemandChurnAddsAndDropsRows) {
   ASSERT_EQ(sol.allocations.size(), 3u);
   EXPECT_GT(sol.allocations[2].allocated_gbps, 0.0);
 
-  // Origin 0 re-rates its row; a shrunk matrix (origin 3 withdraws)
-  // also keeps shape: one allocation per remaining demand.
+  // Origin 0 re-rates its row upward and origin 3 withdraws entirely.
+  // The withdrawal gives its allocation back, so the solver takes the
+  // full solve (freed-capacity fallback); the solution keeps shape: one
+  // allocation per remaining demand.
   traffic::TrafficMatrix smaller;
   smaller.add({0, 5, PriorityClass::kHigh, 4.0});
   smaller.add({7, 2, PriorityClass::kIntermediate, 3.0});
@@ -214,8 +217,8 @@ TEST(IncrementalSolver, DemandChurnAddsAndDropsRows) {
   d.full = false;
   d.changed_demand_origins = {0, 3};
   sol = inc.solve(t, smaller, d, &stats);
-  EXPECT_TRUE(stats.incremental);
-  EXPECT_EQ(stats.affected_demands, 1u);  // the re-rated 0->5 row
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_TRUE(stats.fallback);
   ASSERT_EQ(sol.allocations.size(), 2u);
   EXPECT_NEAR(sol.allocations[0].allocated_gbps, 4.0, 1e-6);
   const auto report = DiffChecker::check(t, smaller, sol, SolverOptions{});

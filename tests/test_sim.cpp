@@ -38,6 +38,31 @@ TEST(EventQueue, CallbacksCanScheduleMore) {
   EXPECT_DOUBLE_EQ(q.now(), 1.5);
 }
 
+TEST(EventQueue, SameTimestampFifoStressWithNestedScheduling) {
+  // Determinism backbone of the whole emulation: at equal timestamps the
+  // queue is strictly FIFO in scheduling order, including events
+  // scheduled from *within* callbacks running at that same timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  constexpr int kFirstWave = 200;
+  constexpr int kNested = 50;
+  for (int i = 0; i < kFirstWave; ++i) {
+    q.schedule(1.0, [&order, &q, i] {
+      order.push_back(i);
+      if (i < kNested) {
+        // now() == 1.0: same-timestamp events appended from a callback
+        // land after everything already scheduled, in this order.
+        q.schedule(1.0, [&order, i] { order.push_back(1000 + i); });
+      }
+    });
+  }
+  EXPECT_EQ(q.run(), static_cast<std::size_t>(kFirstWave + kNested));
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFirstWave + kNested));
+  for (int i = 0; i < kFirstWave; ++i) EXPECT_EQ(order[i], i);
+  for (int i = 0; i < kNested; ++i) EXPECT_EQ(order[kFirstWave + i], 1000 + i);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
 TEST(EventQueue, RejectsPastScheduling) {
   EventQueue q;
   q.schedule(1.0, [] {});
@@ -179,6 +204,87 @@ TEST(FlowEval, MissingRoutingIsBlackhole) {
   routing.rows.push_back({});  // nothing installed
   const auto report = evaluate_loss(f.topo, f.tm, routing);
   EXPECT_DOUBLE_EQ(report.loss[0], 1.0);
+}
+
+TEST(FlowEval, ZeroRateDemandIsNeverCharged) {
+  // Regression: a demand offering 0 Gbps used to be scored loss = 1.0
+  // when its route set was empty or partially installed -- it offers
+  // nothing, so it can lose nothing.
+  EvalFixture f;
+  f.tm = traffic::TrafficMatrix();
+  f.tm.add({0, 1, PriorityClass::kHigh, 0.0});
+  InstalledRouting none;
+  none.rows.push_back({});
+  EXPECT_DOUBLE_EQ(evaluate_loss(f.topo, f.tm, none).loss[0], 0.0);
+
+  const auto partial = f.route_via({f.topo.find_link(0, 1)});
+  EXPECT_DOUBLE_EQ(evaluate_loss(f.topo, f.tm, partial).loss[0], 0.0);
+}
+
+TEST(FlowEval, PartialInstallChargesMissingWeightProportionally) {
+  // Only 60% of the demand's route set made it into the FIB: the
+  // missing 40% is charged as loss, not lumped into a full blackhole.
+  EvalFixture f;
+  InstalledRouting routing;
+  te::WeightedPath wp;
+  wp.path.links = {f.topo.find_link(0, 1)};
+  wp.weight = 0.6;
+  routing.rows.push_back({wp});
+  const auto report = evaluate_loss(f.topo, f.tm, routing);
+  EXPECT_NEAR(report.loss[0], 0.4, 1e-9);
+}
+
+TEST(FlowEval, ZeroWeightRoutesCarryNothing) {
+  // A row whose only route has weight 0 effectively installs nothing:
+  // the whole demand is missing weight, hence full loss.
+  EvalFixture f;
+  InstalledRouting routing;
+  te::WeightedPath wp;
+  wp.path.links = {f.topo.find_link(0, 1)};
+  wp.weight = 0.0;
+  routing.rows.push_back({wp});
+  const auto report = evaluate_loss(f.topo, f.tm, routing);
+  EXPECT_DOUBLE_EQ(report.loss[0], 1.0);
+  // And the zero-weight portion must not have offered load to the link.
+  EXPECT_DOUBLE_EQ(report.utilization[f.topo.find_link(0, 1)], 0.0);
+}
+
+TEST(FlowEval, StructuralOnlyScoringIgnoresCongestion) {
+  // With congestion scoring off, an oversubscribed link grants every
+  // class in full: only structural failures (missing routes, dead paths,
+  // missing weight) count. The invariant checkers rely on this to avoid
+  // flagging strict-priority starvation as a blackhole.
+  EvalFixture f;
+  f.tm = traffic::TrafficMatrix();
+  f.tm.add({0, 1, PriorityClass::kHigh, 200.0});  // saturates the link
+  f.tm.add({0, 1, PriorityClass::kLow, 50.0});    // starved under QoS
+  InstalledRouting routing;
+  te::WeightedPath wp;
+  wp.path.links = {f.topo.find_link(0, 1)};
+  routing.rows.push_back({wp});
+  routing.rows.push_back({wp});
+  const auto congested = evaluate_loss(f.topo, f.tm, routing);
+  EXPECT_DOUBLE_EQ(congested.loss[1], 1.0);  // scavenger loses everything
+
+  LossOptions structural;
+  structural.congestion = false;
+  const auto report =
+      evaluate_loss(f.topo, f.tm, routing, nullptr, structural);
+  EXPECT_DOUBLE_EQ(report.loss[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.loss[1], 0.0);
+  // Utilization still reports the true offered load for diagnostics.
+  EXPECT_GT(report.utilization[f.topo.find_link(0, 1)], 1.0);
+
+  // Structural failures still count: a 60%-weight partial install loses
+  // its missing share even without congestion scoring.
+  InstalledRouting partial;
+  te::WeightedPath part = wp;
+  part.weight = 0.6;
+  partial.rows.push_back({part});
+  partial.rows.push_back({});
+  const auto sp = evaluate_loss(f.topo, f.tm, partial, nullptr, structural);
+  EXPECT_NEAR(sp.loss[0], 0.4, 1e-9);
+  EXPECT_DOUBLE_EQ(sp.loss[1], 1.0);  // nothing installed at all
 }
 
 TEST(FlowEval, BlastRadiusCountsViolatingGroups) {

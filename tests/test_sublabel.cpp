@@ -160,6 +160,74 @@ TEST(Sublabel, LongPathBeyondTwelveLabelsWorks) {
   EXPECT_EQ(r.final_node, 20u);
 }
 
+TEST(Sublabel, EncodeDecodeRoundtripProperty) {
+  // Property sweep: 10k randomized sublabel sequences -- every length up
+  // to the 2*kMaxLabelDepth a full stack can carry, boundary values 1
+  // and kMaxSublabel mixed in -- pack into label stacks exactly the way
+  // encode_sublabel_route does (null pad on odd lengths) and decode
+  // back. The roundtrip must be lossless.
+  util::Rng rng(0xD0C0DE);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(2 * kMaxLabelDepth)));
+    std::vector<Sublabel> seq(len);
+    for (Sublabel& s : seq) {
+      // ~10% boundary values, otherwise uniform over the valid range.
+      const double roll = rng.uniform();
+      if (roll < 0.05) {
+        s = 1;
+      } else if (roll < 0.10) {
+        s = kMaxSublabel;
+      } else {
+        s = static_cast<Sublabel>(rng.uniform_int(1, kMaxSublabel));
+      }
+    }
+    std::vector<Label> labels;
+    labels.reserve((len + 1) / 2);
+    for (std::size_t i = 0; i < len; i += 2) {
+      const Sublabel s2 = i + 1 < len ? seq[i + 1] : kNullSublabel;
+      labels.push_back(pack_sublabels(seq[i], s2));
+    }
+    const LabelStack stack(std::move(labels));
+    EXPECT_EQ(decode_sublabel_route(stack), seq) << "trial " << trial;
+  }
+}
+
+TEST(Sublabel, DecodeRejectsMalformedStacks) {
+  // A null first sublabel can't come from any encoding.
+  EXPECT_THROW(decode_sublabel_route(
+                   LabelStack({pack_sublabels(kNullSublabel, 7)})),
+               std::invalid_argument);
+  // Nor can a null pad anywhere but the final label.
+  EXPECT_THROW(decode_sublabel_route(LabelStack({
+                   pack_sublabels(3, kNullSublabel),
+                   pack_sublabels(5, 6),
+               })),
+               std::invalid_argument);
+  // Empty stack decodes to the empty sequence.
+  EXPECT_TRUE(decode_sublabel_route(LabelStack{}).empty());
+}
+
+TEST(Sublabel, DecodeInvertsEncodeOnRealPaths) {
+  // End-to-end flavor of the property: encode real strict routes on a
+  // real topology and check decode returns the path's sublabels.
+  const auto t = topo::make_geant();
+  const auto a = assign_sublabels(t);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<topo::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(t.num_nodes()) - 1));
+    const auto dst = static_cast<topo::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(t.num_nodes()) - 1));
+    if (src == dst) continue;
+    const auto p = te::shortest_path(t, src, dst);
+    ASSERT_TRUE(p.has_value());
+    std::vector<Sublabel> expected;
+    for (topo::LinkId l : p->links) expected.push_back(a.link_sublabel[l]);
+    EXPECT_EQ(decode_sublabel_route(encode_sublabel_route(*p, a)), expected);
+  }
+}
+
 class SublabelRandomPathTest : public ::testing::TestWithParam<std::uint64_t> {
 };
 
