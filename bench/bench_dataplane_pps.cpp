@@ -1,0 +1,277 @@
+// Batched dataplane throughput under live reprogramming (§3.2).
+//
+// Phase 1 -- throughput: gravity-model packets stream through one
+// BatchPipeline core on a quiesced fabric; reports packets/s and the
+// per-batch latency distribution (kBatchSize packets per timed batch).
+// Target: >= 1M packets/s single-core at B4 scale.
+//
+// Phase 2 -- churn: forwarding cores keep draining packet bursts from
+// RCU FIB snapshots while the main thread cuts and repairs fibers
+// through the full control plane (NSU floods, TE recompute, FIB
+// reprogram, epoch publish). Loss is metered per reprogram window from
+// the pipelines' counters; after the last event a quiesced packet-score
+// sweep must come back clean (no loops, no unknown labels, no dead-link
+// drops) -- the torn-epoch / stale-FIB invariant at packet level.
+//
+// Flags: --topo=b4|abilene  --seconds=<phase-1 duration>
+//        --cores=<forwarding threads in phase 2>  --churn=<cut+repair pairs>
+// Artifact: BENCH_dataplane_pps.json (DSDN_BENCH_JSON=<dir>).
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "dataplane/pipeline.hpp"
+#include "sim/convergence.hpp"
+#include "sim/emulation.hpp"
+#include "sim/packet_score.hpp"
+#include "util/rng.hpp"
+
+using namespace dsdn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Packet specs sampled from the demand matrix, rate-weighted -- the same
+// sampling packet_score uses, pre-generated so the measured loop does no
+// RNG work.
+std::vector<dataplane::PacketSpec> make_pool(const sim::DsdnEmulation& emu,
+                                             std::size_t n,
+                                             std::uint64_t seed) {
+  const auto& demands = emu.demands().demands();
+  std::vector<double> weights;
+  weights.reserve(demands.size());
+  for (const auto& d : demands)
+    weights.push_back(d.src != d.dst && d.rate_gbps > 0 ? d.rate_gbps : 0.0);
+
+  const int ttl = static_cast<int>(4 * emu.network().num_nodes() + 16);
+  util::Rng rng(util::splitmix64(seed));
+  std::vector<dataplane::PacketSpec> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& d = demands[rng.weighted_pick(weights)];
+    dataplane::PacketSpec s;
+    s.dst_ip = emu.address_of(d.dst);
+    s.priority = d.priority;
+    s.entropy = rng.engine()();
+    s.ttl = ttl;
+    s.ingress = d.src;
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+struct PipelineTotals {
+  std::uint64_t packets = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t loops = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t frr = 0;
+  std::uint64_t slow = 0;
+};
+
+PipelineTotals sum_stats(
+    const std::vector<std::unique_ptr<dataplane::BatchPipeline>>& pipes) {
+  PipelineTotals t;
+  for (const auto& p : pipes) {
+    const dataplane::PipelineStats s = p->stats();
+    t.packets += s.packets;
+    t.dropped += s.dropped;
+    t.loops += s.by_outcome[static_cast<std::size_t>(
+        dataplane::ForwardOutcome::kDroppedLoop)];
+    t.unknown += s.by_outcome[static_cast<std::size_t>(
+        dataplane::ForwardOutcome::kDroppedUnknownLabel)];
+    t.frr += s.frr_activations;
+    t.slow += s.slow_path_packets;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topo_name = "b4";
+  double seconds = bench::full_scale() ? 5.0 : 2.0;
+  std::size_t cores = 2;
+  std::size_t churn_pairs = bench::full_scale() ? 6 : 3;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--topo=", 7) == 0) topo_name = a + 7;
+    else if (std::strncmp(a, "--seconds=", 10) == 0) seconds = std::atof(a + 10);
+    else if (std::strncmp(a, "--cores=", 8) == 0)
+      cores = static_cast<std::size_t>(std::atoi(a + 8));
+    else if (std::strncmp(a, "--churn=", 8) == 0)
+      churn_pairs = static_cast<std::size_t>(std::atoi(a + 8));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      return 2;
+    }
+  }
+  if (cores == 0) cores = 1;
+
+  bench::banner("Batched dataplane: packets/s over RCU FIB snapshots");
+  bench::Workload w;
+  if (topo_name == "abilene") {
+    w.topo = topo::make_abilene();
+    traffic::GravityParams gp;
+    gp.pair_fraction = 1.0;
+    gp.seed = 0xAB;
+    w.tm = traffic::generate_gravity(w.topo, gp).aggregated();
+  } else {
+    w = bench::b4_workload();
+  }
+  bench::print_workload(w);
+
+  bench::BenchRun run("dataplane_pps");
+  run.workload(w);
+  run.out().param("topo", topo_name);
+  run.out().param("cores", static_cast<std::uint64_t>(cores));
+  run.out().param("churn_pairs", static_cast<std::uint64_t>(churn_pairs));
+  run.out().param("batch_size",
+                  static_cast<std::uint64_t>(dataplane::kBatchSize));
+
+  sim::DsdnEmulation emu(w.topo, w.tm);
+  emu.enable_fib_snapshots(cores);
+  emu.bootstrap();
+  dataplane::SnapshotHub* hub = emu.fib_hub();
+
+  const std::size_t pool_size = 1 << 15;
+  const auto pool = make_pool(emu, pool_size, 0xDA7A);
+
+  // ---- Phase 1: single-core throughput on the quiesced fabric ----
+  dataplane::BatchPipeline pipe(emu.network(), hub, {});
+  std::vector<dataplane::PacketVerdict> verdicts;
+  metrics::EmpiricalDistribution batch_ns;
+  std::uint64_t phase1_packets = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < seconds) {
+    for (std::size_t off = 0; off + dataplane::kBatchSize <= pool.size();
+         off += dataplane::kBatchSize) {
+      const auto b0 = Clock::now();
+      pipe.process(std::span(pool).subspan(off, dataplane::kBatchSize),
+                   verdicts);
+      const auto b1 = Clock::now();
+      batch_ns.add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b1 - b0)
+              .count()));
+      phase1_packets += dataplane::kBatchSize;
+    }
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+  const dataplane::PipelineStats p1 = pipe.stats();
+  const double pps = static_cast<double>(phase1_packets) / elapsed;
+  std::printf("phase 1: %.2fM packets/s single-core (%.1fs, %llu packets, "
+              "%.1f%% delivered, %llu slow-path)\n",
+              pps / 1e6, elapsed,
+              static_cast<unsigned long long>(phase1_packets),
+              100.0 * static_cast<double>(p1.delivered) /
+                  static_cast<double>(p1.packets),
+              static_cast<unsigned long long>(p1.slow_path_packets));
+  std::printf("  per-batch (%zu pkts): p50=%.0fns p99=%.0fns\n",
+              dataplane::kBatchSize, batch_ns.percentile(50),
+              batch_ns.percentile(99));
+
+  run.out().metric("pps_single_core", pps);
+  run.out().metric("batch_ns_p50", batch_ns.percentile(50));
+  run.out().metric("batch_ns_p99", batch_ns.percentile(99));
+  run.out().metric("phase1_delivered_fraction",
+                   static_cast<double>(p1.delivered) /
+                       static_cast<double>(p1.packets));
+  run.out().series("batch_ns", batch_ns);
+
+  // ---- Phase 2: forwarding cores vs control-plane churn ----
+  const auto fibers =
+      sim::pick_failure_fibers(emu.network(), churn_pairs, 0xC0FFEE);
+  std::vector<std::unique_ptr<dataplane::BatchPipeline>> pipes;
+  for (std::size_t c = 0; c < cores; ++c) {
+    dataplane::PipelineOptions po;
+    po.core = c;
+    pipes.push_back(std::make_unique<dataplane::BatchPipeline>(
+        emu.network(), hub, po));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<dataplane::PacketVerdict> out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        pipes[c]->process(pool, out);
+      }
+    });
+  }
+
+  const std::uint64_t epoch_before_churn = hub->epoch();
+  metrics::EmpiricalDistribution window_loss;
+  const auto churn_window = [&](const char* what, topo::LinkId fiber,
+                                bool fail) {
+    const PipelineTotals before = sum_stats(pipes);
+    if (fail) emu.fail_fiber(fiber);
+    else emu.repair_fiber(fiber);
+    const PipelineTotals after = sum_stats(pipes);
+    const std::uint64_t pkts = after.packets - before.packets;
+    const std::uint64_t drops = after.dropped - before.dropped;
+    const double loss =
+        pkts ? static_cast<double>(drops) / static_cast<double>(pkts) : 0.0;
+    window_loss.add(loss);
+    std::printf("  %-7s fiber %-4u: %8llu pkts in window, loss %.4f%%, "
+                "frr +%llu\n",
+                what, fiber, static_cast<unsigned long long>(pkts),
+                100.0 * loss,
+                static_cast<unsigned long long>(after.frr - before.frr));
+  };
+
+  std::printf("\nphase 2: %zu forwarding cores during %zu cut/repair "
+              "cycles\n", cores, fibers.size());
+  for (const topo::LinkId f : fibers) {
+    churn_window("cut", f, true);
+    churn_window("repair", f, false);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  const PipelineTotals total = sum_stats(pipes);
+  const std::uint64_t epochs = hub->epoch() - epoch_before_churn;
+
+  // Quiesced packet-level invariant: every sampled packet delivers (or
+  // has no ingress route); loops / unknown labels / dead-link walks are
+  // forwarding bugs. Loop and unknown-label drops are violations even
+  // mid-churn: stale routes must die at the dead link (FRR), never cycle.
+  sim::PacketScoreOptions so;
+  so.packets = 4096;
+  so.seed = 0x5C0BE;
+  const sim::PacketScoreReport score = sim::score_packets(emu, so);
+  std::size_t violations = score.hard_drops + total.loops + total.unknown;
+
+  std::printf("\nchurn total: %llu packets forwarded, %llu epochs "
+              "published, max window loss %.4f%%\n",
+              static_cast<unsigned long long>(total.packets - p1.packets),
+              static_cast<unsigned long long>(epochs),
+              100.0 * window_loss.max());
+  std::printf("quiesced score: %zu/%zu delivered, %zu hard drops; "
+              "run loops=%llu unknown-labels=%llu -> %zu violations\n",
+              score.delivered, score.packets, score.hard_drops,
+              static_cast<unsigned long long>(total.loops),
+              static_cast<unsigned long long>(total.unknown), violations);
+
+  run.out().metric("churn_packets",
+                   static_cast<double>(total.packets - p1.packets));
+  run.out().metric("epochs_published", static_cast<double>(epochs));
+  run.out().metric("window_loss_max", window_loss.max());
+  run.out().metric("window_loss_mean", window_loss.mean());
+  run.out().metric("slow_path_packets", static_cast<double>(total.slow));
+  run.out().metric("violations", static_cast<double>(violations));
+  run.out().series("window_loss", window_loss);
+
+  if (violations) {
+    std::fprintf(stderr, "[bench] FAIL: %zu invariant violations\n",
+                 violations);
+    for (const std::string& v : score.violations)
+      std::fprintf(stderr, "  ! %s\n", v.c_str());
+    return 1;
+  }
+  return 0;
+}

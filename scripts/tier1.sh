@@ -22,12 +22,19 @@ DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_fig08_convergence_components >/dev/null
 DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_fig09_b2_convergence >/dev/null
+# Dataplane pps smoke: short phase 1, a couple of churn cycles; the bench
+# exits nonzero on any forwarding invariant violation (loops, unknown
+# labels, quiesced hard drops).
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_dataplane_pps --seconds=0.5 --churn=2 >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
-echo "==> tier-1: TSan build (build-tsan/) -- test_parallel + test_sim + test_obs"
+echo "==> tier-1: TSan build (build-tsan/) -- concurrency suites + batched dataplane"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim test_obs
-(cd build-tsan && ctest --output-on-failure -R '^(test_parallel|test_sim|test_obs)$')
+cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim test_obs \
+  test_dataplane test_batch_pipeline
+(cd build-tsan && ctest --output-on-failure \
+  -R '^(test_parallel|test_sim|test_obs|test_dataplane|test_batch_pipeline)$')
 
 echo "==> tier-1: UBSan build (build-ubsan/) -- test_obs + test_metrics"
 cmake -B build-ubsan -S . -DDSDN_SANITIZE=undefined >/dev/null
@@ -39,6 +46,10 @@ cmake -B build-asan -S . -DDSDN_SANITIZE=address -DDSDN_FUZZ=ON >/dev/null
 cmake --build build-asan -j "${JOBS}" --target fuzz_wire test_wire test_fault_injection
 ./build-asan/fuzz/fuzz_wire -max_total_time=30 tests/corpus/wire
 (cd build-asan && ctest --output-on-failure -R '^(test_wire|test_fault_injection)$')
+
+echo "==> tier-1: ASan dataplane -- batched pipeline + sublabel bounds"
+cmake --build build-asan -j "${JOBS}" --target test_batch_pipeline test_sublabel
+(cd build-asan && ctest --output-on-failure -R '^(test_batch_pipeline|test_sublabel)$')
 
 echo "==> tier-1: ASan differential check -- incremental TE vs full solver"
 cmake --build build-asan -j "${JOBS}" --target test_incremental

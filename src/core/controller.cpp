@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dataplane/snapshot.hpp"
 #include "obs/trace.hpp"
 
 namespace dsdn::core {
@@ -122,8 +123,16 @@ Controller::RecomputeResult Controller::recompute() {
         state_.view(), pr.solution.residual_capacity(state_.view()),
         config_.bypass_strategy, config_.bypass_k, hw_);
   }
+  // All tables for this epoch are installed; publish them as one atomic
+  // snapshot swap. Batches already in flight finish on the old epoch.
+  if (fib_hub_) fib_hub_->publish_router(config_.self, hw_);
   bus_.publish_as(topics::kSolutionReady, pr.solution);
   return result;
+}
+
+void Controller::attach_fib_hub(dataplane::SnapshotHub* hub) {
+  fib_hub_ = hub;
+  if (fib_hub_) fib_hub_->publish_router(config_.self, hw_);
 }
 
 void Controller::recover_from(const Controller& neighbor) {

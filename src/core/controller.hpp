@@ -19,6 +19,10 @@
 #include "core/state_db.hpp"
 #include "te/incremental.hpp"
 
+namespace dsdn::dataplane {
+class SnapshotHub;
+}
+
 namespace dsdn::core {
 
 struct ControllerConfig {
@@ -131,6 +135,14 @@ class Controller {
   dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
   Bus& bus() { return bus_; }
 
+  // Attaches the RCU snapshot hub of the batched dataplane: every
+  // recompute() then ends by publishing this router's fully programmed
+  // tables as one new epoch -- the all-or-nothing bank swap -- after
+  // prefixes, encap routes, AND bypasses are all installed. Attaching
+  // publishes the current tables immediately; null detaches.
+  void attach_fib_hub(dataplane::SnapshotHub* hub);
+  dataplane::SnapshotHub* fib_hub() const { return fib_hub_; }
+
   // Crash recovery (§3.2): rebuild state from an immediate neighbor and
   // resume NSU sequence numbers past anything the network saw from us.
   void recover_from(const Controller& neighbor);
@@ -164,6 +176,7 @@ class Controller {
   std::unique_ptr<te::IncrementalSolver> incremental_;
   Programmer programmer_;
   dataplane::RouterDataplane hw_;
+  dataplane::SnapshotHub* fib_hub_ = nullptr;
   bool transit_programmed_ = false;
   Programmer::EncapReport encap_totals_;
   std::size_t recomputes_ = 0;

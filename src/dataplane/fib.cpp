@@ -5,6 +5,28 @@
 #include "util/rng.hpp"
 
 namespace dsdn::dataplane {
+namespace {
+
+// Deterministic weighted choice by hashing the entropy field -- the
+// ASIC's ECMP hash stand-in. `salt` decorrelates independent tables
+// keyed by the same flow entropy (encap vs bypass picks).
+const WeightedRoute* pick_weighted(const std::vector<WeightedRoute>& routes,
+                                   std::uint64_t entropy,
+                                   std::uint64_t salt) {
+  double total = 0.0;
+  for (const WeightedRoute& r : routes) total += r.weight;
+  const double point =
+      static_cast<double>(util::splitmix64(entropy ^ salt) >> 11) /
+      static_cast<double>(1ull << 53) * total;
+  double acc = 0.0;
+  for (const WeightedRoute& r : routes) {
+    acc += r.weight;
+    if (point <= acc) return &r;
+  }
+  return &routes.back();
+}
+
+}  // namespace
 
 void IngressFib::set_prefix(const topo::Prefix& p, topo::NodeId egress) {
   prefixes_.insert(p, egress);
@@ -45,24 +67,19 @@ std::optional<topo::NodeId> IngressFib::egress_for(
 std::optional<LabelStack> IngressFib::lookup(std::uint32_t dst_ip,
                                              metrics::PriorityClass priority,
                                              std::uint64_t entropy) const {
+  const LabelStack* stack = lookup_stack(dst_ip, priority, entropy);
+  if (!stack) return std::nullopt;
+  return *stack;
+}
+
+const LabelStack* IngressFib::lookup_stack(std::uint32_t dst_ip,
+                                           metrics::PriorityClass priority,
+                                           std::uint64_t entropy) const {
   const auto egress = prefixes_.lookup(dst_ip);
-  if (!egress) return std::nullopt;
+  if (!egress) return nullptr;
   const auto it = encap_.find({*egress, static_cast<int>(priority)});
-  if (it == encap_.end()) return std::nullopt;
-  const auto& routes = it->second.routes;
-  // Deterministic weighted choice by hashing the entropy field -- the
-  // ASIC's ECMP hash stand-in.
-  double total = 0.0;
-  for (const WeightedRoute& r : routes) total += r.weight;
-  const double point =
-      static_cast<double>(util::splitmix64(entropy) >> 11) /
-      static_cast<double>(1ull << 53) * total;
-  double acc = 0.0;
-  for (const WeightedRoute& r : routes) {
-    acc += r.weight;
-    if (point <= acc) return r.stack;
-  }
-  return routes.back().stack;
+  if (it == encap_.end()) return nullptr;
+  return &pick_weighted(it->second.routes, entropy, /*salt=*/0)->stack;
 }
 
 void TransitFib::set_entry(Label label, topo::LinkId out_link) {
@@ -106,20 +123,16 @@ bool BypassFib::protects(topo::LinkId link) const {
 
 std::optional<LabelStack> BypassFib::select(topo::LinkId link,
                                             std::uint64_t entropy) const {
+  const LabelStack* stack = select_stack(link, entropy);
+  if (!stack) return std::nullopt;
+  return *stack;
+}
+
+const LabelStack* BypassFib::select_stack(topo::LinkId link,
+                                          std::uint64_t entropy) const {
   const auto it = bypasses_.find(link);
-  if (it == bypasses_.end()) return std::nullopt;
-  const auto& routes = it->second;
-  double total = 0.0;
-  for (const WeightedRoute& r : routes) total += r.weight;
-  const double point =
-      static_cast<double>(util::splitmix64(entropy ^ 0xFBFB) >> 11) /
-      static_cast<double>(1ull << 53) * total;
-  double acc = 0.0;
-  for (const WeightedRoute& r : routes) {
-    acc += r.weight;
-    if (point <= acc) return r.stack;
-  }
-  return routes.back().stack;
+  if (it == bypasses_.end()) return nullptr;
+  return &pick_weighted(it->second, entropy, /*salt=*/0xFBFB)->stack;
 }
 
 }  // namespace dsdn::dataplane

@@ -45,6 +45,14 @@ class IngressFib {
                                    metrics::PriorityClass priority,
                                    std::uint64_t entropy) const;
 
+  // Allocation-free variant for the batched pipeline's hot path: returns
+  // a pointer into the installed route set (same weighted choice as
+  // lookup()), or null on a miss. The pointer is valid as long as the
+  // table is not reprogrammed -- which immutable FIB snapshots guarantee.
+  const LabelStack* lookup_stack(std::uint32_t dst_ip,
+                                 metrics::PriorityClass priority,
+                                 std::uint64_t entropy) const;
+
   // Stage-1 only (exposed for the forwarder's local-delivery check).
   std::optional<topo::NodeId> egress_for(std::uint32_t dst_ip) const;
 
@@ -99,6 +107,11 @@ class BypassFib {
   // Weighted pick for one flow; nullopt if the link is unprotected.
   std::optional<LabelStack> select(topo::LinkId link,
                                    std::uint64_t entropy) const;
+
+  // Allocation-free variant (see IngressFib::lookup_stack): a pointer to
+  // the picked bypass stack, or null when the link is unprotected.
+  const LabelStack* select_stack(topo::LinkId link,
+                                 std::uint64_t entropy) const;
 
   bool protects(topo::LinkId link) const;
   std::size_t num_protected_links() const { return bypasses_.size(); }

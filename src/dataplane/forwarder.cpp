@@ -2,7 +2,21 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace dsdn::dataplane {
+namespace {
+
+// Packets dropped at a transit router because the out-link was down and
+// no bypass (local or plan-level) could repair around it. The packet-level
+// counterpart of flow_eval's structural loss scoring.
+obs::Counter& down_link_drops() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dataplane.down_link_drops");
+  return c;
+}
+
+}  // namespace
 
 const char* forward_outcome_name(ForwardOutcome o) {
   switch (o) {
@@ -12,6 +26,7 @@ const char* forward_outcome_name(ForwardOutcome o) {
     case ForwardOutcome::kDroppedLinkDownNoBypass: return "link-down-no-bypass";
     case ForwardOutcome::kDroppedTtlExpired: return "ttl-expired";
     case ForwardOutcome::kDroppedNotLocal: return "not-local";
+    case ForwardOutcome::kDroppedLoop: return "loop";
   }
   return "?";
 }
@@ -28,12 +43,13 @@ ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
   ForwardResult r;
   topo::NodeId at = ingress_node;
   r.trace.push_back(at);
+  const std::size_t max_hops = forward_hop_bound(topo_);
 
   // Headend: two-stage lookup to build the source route.
   if (packet.stack.empty()) {
     const RouterDataplane& rd = provider_->at(at);
-    auto stack = rd.ingress.lookup(packet.dst_ip, packet.priority,
-                                   packet.entropy);
+    const LabelStack* stack = rd.ingress.lookup_stack(
+        packet.dst_ip, packet.priority, packet.entropy);
     if (!stack) {
       // Destination may be attached locally (no WAN hop needed).
       const auto egress = rd.ingress.egress_for(packet.dst_ip);
@@ -46,7 +62,7 @@ ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
       r.final_node = at;
       return r;
     }
-    packet.stack = std::move(*stack);
+    packet.stack = *stack;
   }
 
   while (true) {
@@ -80,17 +96,16 @@ ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
       // router's own pre-installed BypassFib is consulted first; a
       // simulation-level BypassPlan (if any) is the fallback.
       packet.stack.pop();
-      std::optional<LabelStack> bypass_stack =
-          provider_->at(at).bypass.select(*out_link, packet.entropy);
+      const LabelStack* bypass_stack =
+          provider_->at(at).bypass.select_stack(*out_link, packet.entropy);
+      std::optional<LabelStack> plan_stack;
       if (!bypass_stack && bypasses_) {
-        const auto bypass = bypasses_->select(
+        plan_stack = bypasses_->select_encoded(
             topo_, *out_link, /*rate_gbps=*/0.0, packet.entropy, residual);
-        if (bypass) {
-          bypass_stack =
-              encode_strict_route(*bypass, /*enforce_depth=*/false);
-        }
+        if (plan_stack) bypass_stack = &*plan_stack;
       }
       if (!bypass_stack) {
+        down_link_drops().inc();
         r.outcome = ForwardOutcome::kDroppedLinkDownNoBypass;
         r.final_node = at;
         return r;
@@ -106,6 +121,13 @@ ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
     r.latency_s += link.delay_s;
     ++r.hops;
     r.trace.push_back(at);
+    if (r.hops > max_hops) {
+      // Even a generous caller ttl cannot save a cycling FIB; report it
+      // as what it is rather than a ttl artifact.
+      r.outcome = ForwardOutcome::kDroppedLoop;
+      r.final_node = at;
+      return r;
+    }
   }
 }
 

@@ -47,9 +47,19 @@ enum class ForwardOutcome {
   kDroppedLinkDownNoBypass, // hit a dead link and FRR had no path
   kDroppedTtlExpired,
   kDroppedNotLocal,         // stack ran out at a router not owning the dst
+  kDroppedLoop,             // exceeded the topology hop bound (FIB cycle)
 };
 
 const char* forward_outcome_name(ForwardOutcome o);
+
+// A walk that takes more hops than this on an n-node topology must be
+// cycling: strict source routes are bounded by the label-depth limits and
+// each FRR splice only detours around one link. Matches the TTL budget the
+// sublabel walk uses. A caller-supplied ttl below the bound still wins
+// (kDroppedTtlExpired), preserving small-ttl semantics.
+inline std::size_t forward_hop_bound(const topo::Topology& topo) {
+  return 4 * topo.num_nodes() + 8;
+}
 
 struct ForwardResult {
   ForwardOutcome outcome = ForwardOutcome::kDroppedNoIngressRoute;

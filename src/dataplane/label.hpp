@@ -65,15 +65,14 @@ LabelStack encode_strict_route(const te::Path& path,
 // Inverse of encode_strict_route (for tests / debugging).
 te::Path decode_strict_route(const LabelStack& stack);
 
-// A packet traversing the simulated data plane.
+// A packet traversing the simulated data plane. (Visited-node traces
+// live on ForwardResult, which the forwarder fills in.)
 struct Packet {
   std::uint32_t dst_ip = 0;
   metrics::PriorityClass priority = metrics::PriorityClass::kHigh;
   std::uint64_t entropy = 0;  // 5-tuple hash stand-in for load balancing
   LabelStack stack;
   int ttl = 64;
-  // Trace of visited nodes, appended by the forwarder (diagnostics).
-  std::vector<topo::NodeId> trace;
 };
 
 }  // namespace dsdn::dataplane

@@ -1,0 +1,324 @@
+#include "dataplane/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace dsdn::dataplane {
+namespace {
+
+// Same counter the scalar forwarder bumps, so packet-level down-link
+// drops aggregate regardless of which path forwarded the packet.
+obs::Counter& down_link_drops() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dataplane.down_link_drops");
+  return c;
+}
+
+}  // namespace
+
+// Flat working record for one in-flight packet. Labels are stored
+// bottom-first (top of stack = labels[depth - 1]) so a transit pop is a
+// decrement and an FRR splice appends -- no memmove on the hot path.
+struct BatchPipeline::BatchPacket {
+  std::uint32_t dst_ip;
+  metrics::PriorityClass priority;
+  std::uint64_t entropy;
+  int ttl;
+  topo::NodeId at;
+  topo::NodeId ingress;   // original injection point (slow-path rerun)
+  int orig_ttl;           // original ttl budget (slow-path rerun)
+  std::uint16_t index;    // slot in the batch: out[index], trace addressing
+  std::uint16_t depth;
+  std::uint32_t hops;
+  std::uint32_t frr;
+  double latency_s;
+  Label labels[kInlineLabels];
+};
+
+BatchPipeline::BatchPipeline(const topo::Topology& topo,
+                             const SnapshotHub* hub, PipelineOptions opts)
+    : topo_(topo), hub_(hub), opts_(std::move(opts)),
+      max_hops_(forward_hop_bound(topo)) {
+  if (!hub_) throw std::invalid_argument("BatchPipeline: null hub");
+  if (opts_.core >= hub_->num_cores())
+    throw std::invalid_argument("BatchPipeline: core out of range");
+}
+
+void BatchPipeline::process(std::span<const PacketSpec> specs,
+                            std::vector<PacketVerdict>& out) {
+  out.resize(specs.size());
+  traces_.clear();
+  if (opts_.record_traces) traces_.resize(specs.size());
+  for (std::size_t off = 0; off < specs.size(); off += kBatchSize) {
+    const std::size_t n = std::min(kBatchSize, specs.size() - off);
+    run_batch(specs.data() + off, n, out.data() + off, off);
+  }
+}
+
+std::vector<PacketVerdict> BatchPipeline::process(
+    std::span<const PacketSpec> specs) {
+  std::vector<PacketVerdict> out;
+  process(specs, out);
+  return out;
+}
+
+void BatchPipeline::run_batch(const PacketSpec* specs, std::size_t n,
+                              PacketVerdict* out, std::size_t trace_base) {
+  // RCU read side: pin one immutable epoch for the whole batch. A
+  // reprogram that publishes mid-batch is observed only by later batches.
+  pinned_ = hub_->acquire(opts_.core);
+  last_epoch_.store(pinned_->epoch, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  BatchPacket pkts[kBatchSize];
+  std::size_t live = stage_ingress(specs, pkts, n, out, trace_base);
+  while (live > 0) live = stage_round(pkts, live, out, trace_base);
+  pinned_.reset();
+}
+
+std::size_t BatchPipeline::stage_ingress(const PacketSpec* specs,
+                                         BatchPacket* pkts, std::size_t n,
+                                         PacketVerdict* out,
+                                         std::size_t trace_base) {
+  const FibSnapshot& snap = *pinned_;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PacketSpec& s = specs[i];
+    BatchPacket& p = pkts[live];
+    p.dst_ip = s.dst_ip;
+    p.priority = s.priority;
+    p.entropy = s.entropy;
+    p.ttl = s.ttl;
+    p.at = s.ingress;
+    p.ingress = s.ingress;
+    p.orig_ttl = s.ttl;
+    p.index = static_cast<std::uint16_t>(i);
+    p.depth = 0;
+    p.hops = 0;
+    p.frr = 0;
+    p.latency_s = 0.0;
+    if (opts_.record_traces) traces_[trace_base + i].push_back(p.at);
+
+    const RouterDataplane& rd = snap.at(p.at);
+    const LabelStack* stack =
+        rd.ingress.lookup_stack(p.dst_ip, p.priority, p.entropy);
+    if (!stack) {
+      const auto egress = rd.ingress.egress_for(p.dst_ip);
+      finish(p, egress && *egress == p.at
+                    ? ForwardOutcome::kDelivered
+                    : ForwardOutcome::kDroppedNoIngressRoute,
+             out);
+      continue;
+    }
+    const auto& labels = stack->labels();  // top-first
+    if (labels.size() > kInlineLabels) {
+      slow_path(p, out, trace_base);
+      continue;
+    }
+    p.depth = static_cast<std::uint16_t>(labels.size());
+    for (std::size_t j = 0; j < labels.size(); ++j)
+      p.labels[labels.size() - 1 - j] = labels[j];
+    ++live;
+  }
+  return live;
+}
+
+std::size_t BatchPipeline::stage_round(BatchPacket* pkts, std::size_t live,
+                                       PacketVerdict* out,
+                                       std::size_t trace_base) {
+  const FibSnapshot& snap = *pinned_;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    BatchPacket& p = pkts[i];
+    // Exactly one iteration of the scalar forward loop (see
+    // Forwarder::forward) -- an FRR splice consumes a ttl tick without
+    // advancing, matching the scalar `continue`.
+    if (--p.ttl <= 0) {
+      finish(p, ForwardOutcome::kDroppedTtlExpired, out);
+      continue;
+    }
+    if (p.depth == 0) {
+      const auto egress = snap.at(p.at).ingress.egress_for(p.dst_ip);
+      finish(p, egress && *egress == p.at ? ForwardOutcome::kDelivered
+                                          : ForwardOutcome::kDroppedNotLocal,
+             out);
+      continue;
+    }
+
+    const Label outer = p.labels[p.depth - 1];
+    const auto out_link = snap.at(p.at).transit.lookup(outer);
+    if (!out_link) {
+      finish(p, ForwardOutcome::kDroppedUnknownLabel, out);
+      continue;
+    }
+    const topo::Link& link = topo_.link(*out_link);
+
+    if (!snap.up(*out_link)) {
+      --p.depth;  // pop the invalid label
+      const LabelStack* bypass =
+          snap.at(p.at).bypass.select_stack(*out_link, p.entropy);
+      std::optional<LabelStack> plan_stack;
+      if (!bypass && opts_.bypasses) {
+        plan_stack = opts_.bypasses->select_encoded(
+            topo_, *out_link, /*rate_gbps=*/0.0, p.entropy,
+            opts_.residual_gbps);
+        if (plan_stack) bypass = &*plan_stack;
+      }
+      if (!bypass) {
+        down_link_drops().inc();
+        finish(p, ForwardOutcome::kDroppedLinkDownNoBypass, out);
+        continue;
+      }
+      const auto& bl = bypass->labels();  // top-first
+      if (p.depth + bl.size() > kInlineLabels) {
+        slow_path(p, out, trace_base);
+        continue;
+      }
+      for (std::size_t j = 0; j < bl.size(); ++j)
+        p.labels[p.depth + j] = bl[bl.size() - 1 - j];
+      p.depth = static_cast<std::uint16_t>(p.depth + bl.size());
+      ++p.frr;
+      if (&p != &pkts[keep]) pkts[keep] = p;
+      ++keep;
+      continue;
+    }
+
+    // Normal transit: pop the outer label and forward.
+    --p.depth;
+    p.at = link.dst;
+    p.latency_s += link.delay_s;
+    ++p.hops;
+    if (opts_.record_traces) traces_[trace_base + p.index].push_back(p.at);
+    if (p.hops > max_hops_) {
+      finish(p, ForwardOutcome::kDroppedLoop, out);
+      continue;
+    }
+    if (&p != &pkts[keep]) pkts[keep] = p;
+    ++keep;
+  }
+  return keep;
+}
+
+void BatchPipeline::finish(BatchPacket& p, ForwardOutcome o,
+                           PacketVerdict* out) {
+  PacketVerdict& v = out[p.index];
+  v.outcome = o;
+  v.final_node = p.at;
+  v.latency_s = p.latency_s;
+  v.hops = p.hops;
+  v.frr_activations = p.frr;
+  account(v);
+}
+
+void BatchPipeline::account(const PacketVerdict& v) {
+  packets_.fetch_add(1, std::memory_order_relaxed);
+  if (v.outcome == ForwardOutcome::kDelivered)
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  else
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (v.frr_activations)
+    frr_.fetch_add(v.frr_activations, std::memory_order_relaxed);
+  by_outcome_[static_cast<std::size_t>(v.outcome)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void BatchPipeline::slow_path(const BatchPacket& p, PacketVerdict* out,
+                              std::size_t trace_base) {
+  // Rerun the whole packet from scratch with an unbounded heap stack,
+  // on the snapshot this batch pinned. Same steps as the fast path (and
+  // the scalar Forwarder), so the verdict is identical to what the fast
+  // path would have produced with an unlimited inline array. Reads only
+  // snapshot + immutable topology fields: safe under concurrent churn.
+  const FibSnapshot& snap = *pinned_;
+  std::vector<Label> stack;  // bottom-first, like the inline array
+  std::vector<topo::NodeId>* trace =
+      opts_.record_traces ? &traces_[trace_base + p.index] : nullptr;
+  if (trace) {
+    trace->clear();
+    trace->push_back(p.ingress);
+  }
+
+  PacketVerdict& v = out[p.index];
+  v = PacketVerdict{};
+  v.final_node = p.ingress;
+  topo::NodeId at = p.ingress;
+  int ttl = p.orig_ttl;
+
+  const auto finish_slow = [&](ForwardOutcome o) {
+    v.outcome = o;
+    v.final_node = at;
+    slow_path_.fetch_add(1, std::memory_order_relaxed);
+    account(v);
+  };
+
+  const RouterDataplane& ird = snap.at(at);
+  const LabelStack* head =
+      ird.ingress.lookup_stack(p.dst_ip, p.priority, p.entropy);
+  if (!head) {
+    const auto egress = ird.ingress.egress_for(p.dst_ip);
+    finish_slow(egress && *egress == at
+                    ? ForwardOutcome::kDelivered
+                    : ForwardOutcome::kDroppedNoIngressRoute);
+    return;
+  }
+  stack.assign(head->labels().rbegin(), head->labels().rend());
+
+  while (true) {
+    if (--ttl <= 0) return finish_slow(ForwardOutcome::kDroppedTtlExpired);
+    if (stack.empty()) {
+      const auto egress = snap.at(at).ingress.egress_for(p.dst_ip);
+      return finish_slow(egress && *egress == at
+                             ? ForwardOutcome::kDelivered
+                             : ForwardOutcome::kDroppedNotLocal);
+    }
+    const Label outer = stack.back();
+    const auto out_link = snap.at(at).transit.lookup(outer);
+    if (!out_link) return finish_slow(ForwardOutcome::kDroppedUnknownLabel);
+    const topo::Link& link = topo_.link(*out_link);
+    if (!snap.up(*out_link)) {
+      stack.pop_back();
+      const LabelStack* bypass =
+          snap.at(at).bypass.select_stack(*out_link, p.entropy);
+      std::optional<LabelStack> plan_stack;
+      if (!bypass && opts_.bypasses) {
+        plan_stack = opts_.bypasses->select_encoded(
+            topo_, *out_link, /*rate_gbps=*/0.0, p.entropy,
+            opts_.residual_gbps);
+        if (plan_stack) bypass = &*plan_stack;
+      }
+      if (!bypass) {
+        down_link_drops().inc();
+        return finish_slow(ForwardOutcome::kDroppedLinkDownNoBypass);
+      }
+      stack.insert(stack.end(), bypass->labels().rbegin(),
+                   bypass->labels().rend());
+      ++v.frr_activations;
+      continue;
+    }
+    stack.pop_back();
+    at = link.dst;
+    v.latency_s += link.delay_s;
+    ++v.hops;
+    if (trace) trace->push_back(at);
+    if (v.hops > max_hops_)
+      return finish_slow(ForwardOutcome::kDroppedLoop);
+  }
+}
+
+PipelineStats BatchPipeline::stats() const {
+  PipelineStats s;
+  s.packets = packets_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.delivered = delivered_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.frr_activations = frr_.load(std::memory_order_relaxed);
+  s.slow_path_packets = slow_path_.load(std::memory_order_relaxed);
+  s.last_epoch = last_epoch_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.by_outcome.size(); ++i)
+    s.by_outcome[i] = by_outcome_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dsdn::dataplane

@@ -157,6 +157,12 @@ SublabelForwardResult forward_sublabel(const topo::Topology& topo,
       r.final_node = at;
       return r;
     }
+    // A caller can hand us a start node (or a table set) that does not
+    // cover `at`; treat it as a miss instead of indexing out of range.
+    if (at >= fibs.size()) {
+      r.final_node = at;
+      return r;
+    }
     const auto entry = fibs[at].lookup(stack.top());
     if (!entry) {
       r.final_node = at;

@@ -37,7 +37,25 @@ std::unique_ptr<core::Controller> DsdnEmulation::make_controller(
   cc.bypass_strategy = config_.bypass_strategy;
   cc.incremental_te = config_.incremental_te;
   cc.te_diff_check = config_.te_diff_check;
-  return std::make_unique<core::Controller>(cc, topo_);
+  auto c = std::make_unique<core::Controller>(cc, topo_);
+  // Replacement controllers (crash recovery) publish to the same hub the
+  // crashed instance did, so forwarding cores keep working through the
+  // restart on the last published epoch.
+  if (fib_hub_) c->attach_fib_hub(fib_hub_.get());
+  return c;
+}
+
+void DsdnEmulation::enable_fib_snapshots(std::size_t num_cores) {
+  fib_hub_ = std::make_unique<dataplane::SnapshotHub>(topo_, num_cores);
+  for (auto& c : controllers_) c->attach_fib_hub(fib_hub_.get());
+}
+
+void DsdnEmulation::set_fiber_up(topo::LinkId fiber, bool up) {
+  topo_.set_duplex_up(fiber, up);
+  // Dataplane-local port-state detection: forwarding cores see the flip
+  // (and engage FRR on down links) immediately, long before the control
+  // plane floods, recomputes, and republishes tables.
+  if (fib_hub_) fib_hub_->publish_link_state(topo_);
 }
 
 void DsdnEmulation::originate_and_flood(topo::NodeId n) {
@@ -185,7 +203,7 @@ void DsdnEmulation::fail_fiber(topo::LinkId fiber) {
   DSDN_TRACE_SPAN("emu.fail_fiber");
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
-  topo_.set_duplex_up(fiber, false);
+  set_fiber_up(fiber, false);
   for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   run_to_quiescence();
   recompute_dirty();
@@ -197,7 +215,7 @@ void DsdnEmulation::fail_fibers(std::span<const topo::LinkId> fibers) {
   // routers then advertise the full SRLG damage in overlapping floods.
   std::vector<topo::NodeId> origins;
   for (topo::LinkId fiber : fibers) {
-    topo_.set_duplex_up(fiber, false);
+    set_fiber_up(fiber, false);
     for (topo::NodeId n : {topo_.link(fiber).src, topo_.link(fiber).dst}) {
       if (std::find(origins.begin(), origins.end(), n) == origins.end())
         origins.push_back(n);
@@ -212,12 +230,12 @@ void DsdnEmulation::flap_fiber(topo::LinkId fiber) {
   DSDN_TRACE_SPAN("emu.flap_fiber");
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
-  topo_.set_duplex_up(fiber, false);
+  set_fiber_up(fiber, false);
   for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   // Back up before the down-NSUs quiesce: both generations are in flight
   // together and receivers may apply them out of order (the sequence
   // check discards whichever arrives stale).
-  topo_.set_duplex_up(fiber, true);
+  set_fiber_up(fiber, true);
   for (topo::NodeId origin : {a, b}) originate_and_flood(origin);
   run_to_quiescence();
   recompute_dirty();
@@ -227,7 +245,7 @@ void DsdnEmulation::repair_fiber(topo::LinkId fiber) {
   DSDN_TRACE_SPAN("emu.repair_fiber");
   const topo::NodeId a = topo_.link(fiber).src;
   const topo::NodeId b = topo_.link(fiber).dst;
-  topo_.set_duplex_up(fiber, true);
+  set_fiber_up(fiber, true);
   // Adjacency-up database resync (IS-IS CSNP-style): the endpoints merge
   // databases and reflood, so updates that happened across a partition
   // reach both sides. Receivers' sequence checks stop the reflood where

@@ -17,6 +17,7 @@
 #include "core/controller.hpp"
 #include "core/introspection.hpp"
 #include "dataplane/forwarder.hpp"
+#include "dataplane/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/faulty_bus.hpp"
@@ -117,6 +118,16 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   // config used for controllers created by future crash recoveries.
   void set_incremental_te(bool enabled);
 
+  // --- Batched dataplane (RCU FIB snapshots) ---
+  // Creates a SnapshotHub with `num_cores` forwarding slots and attaches
+  // it to every controller: each recompute publishes that router's
+  // tables as one atomic epoch, and BatchPipelines forward from the hub
+  // concurrently with reprogramming. Controllers created by later crash
+  // recoveries attach automatically. Idempotent scale: calling again
+  // replaces the hub.
+  void enable_fib_snapshots(std::size_t num_cores = 1);
+  dataplane::SnapshotHub* fib_hub() const { return fib_hub_.get(); }
+
   const EmulationConfig& config() const { return config_; }
 
   // --- In-band demand measurement (§3.2) ---
@@ -188,6 +199,10 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
 
  private:
   std::unique_ptr<core::Controller> make_controller(topo::NodeId n) const;
+  // Flips a duplex fiber in ground truth AND publishes the new link state
+  // to the snapshot hub (dataplane port-down detection precedes control-
+  // plane reconvergence).
+  void set_fiber_up(topo::LinkId fiber, bool up);
   void originate_and_flood(topo::NodeId n);
   void flood(const core::FloodDirective& directive, topo::NodeId from);
   // One transmit attempt (attempt 0 = first try) of a serialized NSU
@@ -209,6 +224,7 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   std::vector<std::unique_ptr<traffic::EstimatingTelemetry>>
       estimating_telemetry_;
   std::vector<std::unique_ptr<core::Controller>> controllers_;
+  std::unique_ptr<dataplane::SnapshotHub> fib_hub_;
   std::vector<char> dirty_;
   sim::EventQueue queue_;
   std::size_t messages_ = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/packet_score.hpp"
 #include "topo/builder.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -94,6 +95,7 @@ std::uint64_t ScenarioResult::fingerprint() const {
   h = mix(h, events_applied);
   h = mix(h, events_skipped);
   h = mix(h, invariant_checks);
+  h = mix(h, packets_scored);
   h = mix(h, std::bit_cast<std::uint64_t>(max_loss));
   h = mix(h, std::bit_cast<std::uint64_t>(sim_time_s));
   h = mix(h, static_cast<std::uint64_t>(
@@ -362,6 +364,7 @@ ScenarioResult Scenario::run_masked(const std::vector<char>& keep) const {
     emu.enable_fault_injection(options_.fault_profile,
                                util::splitmix64(seed_ ^ 0xFA017B05ULL));
   }
+  if (options_.packet_scoring) emu.enable_fib_snapshots(1);
 
   ScenarioResult r;
   emu.bootstrap();
@@ -369,12 +372,30 @@ ScenarioResult Scenario::run_masked(const std::vector<char>& keep) const {
     const InvariantReport rep = check_invariants(emu, options_.invariants);
     r.invariant_checks += rep.checks_run;
     r.max_loss = std::max(r.max_loss, rep.max_demand_loss);
-    if (rep.ok()) return true;
-    r.first_violation_event = idx;
-    for (const std::string& v : rep.violations) {
-      r.violations.push_back(what + v);
+    if (!rep.ok()) {
+      r.first_violation_event = idx;
+      for (const std::string& v : rep.violations) {
+        r.violations.push_back(what + v);
+      }
+      return false;
     }
-    return false;
+    if (options_.packet_scoring) {
+      PacketScoreOptions po;
+      po.packets = options_.packets_per_check;
+      // Deterministic per check point, decorrelated across events.
+      po.seed = util::splitmix64(
+          seed_ ^ (static_cast<std::uint64_t>(idx + 2) * 0xD0A7A5C0DEULL));
+      const PacketScoreReport score = score_packets(emu, po);
+      r.packets_scored += score.packets;
+      if (!score.ok()) {
+        r.first_violation_event = idx;
+        for (const std::string& v : score.violations) {
+          r.violations.push_back(what + "packet-score: " + v);
+        }
+        return false;
+      }
+    }
+    return true;
   };
 
   if (check(-1, "bootstrap: ")) {
@@ -476,6 +497,7 @@ obs::RunArtifact Scenario::artifact(const ScenarioResult& result,
   a.param("incremental_te", options_.incremental_te);
   a.metric("events_applied", static_cast<double>(result.events_applied));
   a.metric("violations", static_cast<double>(result.violations.size()));
+  a.metric("packets_scored", static_cast<double>(result.packets_scored));
   a.metric("max_loss_window", result.max_loss);
   a.metric("sim_time_s", result.sim_time_s);
 

@@ -84,6 +84,14 @@ struct ScenarioOptions {
   te::SolverOptions solver;
   InvariantOptions invariants;
 
+  // Packet-level scoring (sim/packet_score.hpp): after every applied
+  // event, sample packets from the current demand matrix and drive them
+  // through the batched pipeline over RCU FIB snapshots; any outcome
+  // besides delivered / no-ingress-route is a violation. Off by default
+  // (attaches a SnapshotHub to the emulation when on).
+  bool packet_scoring = false;
+  std::size_t packets_per_check = 512;
+
   ScenarioBug bug = ScenarioBug::kNone;
   topo::NodeId bug_node = 0;
 };
@@ -96,6 +104,7 @@ struct ScenarioResult {
   std::size_t events_applied = 0;
   std::size_t events_skipped = 0;  // runtime guards (e.g. would partition)
   std::size_t invariant_checks = 0;
+  std::size_t packets_scored = 0;  // 0 unless options.packet_scoring
   double max_loss = 0.0;  // max flow_eval demand loss seen at any step
   std::uint64_t final_digest = 0;
   std::size_t messages = 0;

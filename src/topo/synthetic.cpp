@@ -93,7 +93,10 @@ Topology make_geo_network(const GeoNetworkParams& params) {
 
   std::set<std::pair<NodeId, NodeId>> used;
   auto add_core = [&](std::size_t a, std::size_t b) {
-    auto key = std::minmax(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    // Build the pair by value: std::minmax over prvalues returns a pair
+    // of references into expired temporaries.
+    const std::pair<NodeId, NodeId> key{
+        static_cast<NodeId>(std::min(a, b)), static_cast<NodeId>(std::max(a, b))};
     if (a == b || used.contains(key)) return;
     used.insert(key);
     const double d = dist_km(hub_pts[a], hub_pts[b]);
@@ -118,7 +121,8 @@ Topology make_geo_network(const GeoNetworkParams& params) {
     if (a == b) continue;
     const double d = dist_km(hub_pts[a], hub_pts[b]);
     if (!rng.bernoulli(std::exp(-d / (0.25 * scale_l)))) continue;
-    auto key = std::minmax(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    const std::pair<NodeId, NodeId> key{
+        static_cast<NodeId>(std::min(a, b)), static_cast<NodeId>(std::max(a, b))};
     if (used.contains(key)) continue;
     add_core(a, b);
     ++chords_added;

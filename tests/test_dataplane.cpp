@@ -3,6 +3,7 @@
 #include "dataplane/fib.hpp"
 #include "dataplane/forwarder.hpp"
 #include "dataplane/label.hpp"
+#include "obs/metrics.hpp"
 #include "te/dijkstra.hpp"
 #include "topo/prefix.hpp"
 #include "topo/synthetic.hpp"
@@ -272,6 +273,46 @@ TEST(Forwarder, TtlGuardsAgainstForwardingLoops) {
   pkt.ttl = 16;
   const Forwarder fwd(f.topo, &f.routers);
   EXPECT_EQ(fwd.forward(pkt, 0).outcome, ForwardOutcome::kDroppedTtlExpired);
+}
+
+TEST(Forwarder, FibCycleDetectedAsLoopDespiteGenerousTtl) {
+  // Regression: with a caller ttl far above the topology hop bound, a
+  // cycling label stack used to burn the whole ttl budget and report
+  // kDroppedTtlExpired. The hop bound (4n+8) now fires first and names
+  // the real failure. TtlGuardsAgainstForwardingLoops above keeps the
+  // small-ttl path: a ttl below the bound still wins.
+  Fig5Fixture f;
+  std::vector<Label> labels;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(link_label(f.topo.find_link(0, 2)));
+    labels.push_back(link_label(f.topo.find_link(2, 0)));
+  }
+  Packet pkt;
+  pkt.dst_ip = topo::host_in(f.prefixes[1]);
+  pkt.stack = LabelStack(labels);
+  pkt.ttl = 10000;
+  const Forwarder fwd(f.topo, &f.routers);
+  const auto r = fwd.forward(pkt, 0);
+  EXPECT_EQ(r.outcome, ForwardOutcome::kDroppedLoop);
+  EXPECT_EQ(r.hops, forward_hop_bound(f.topo) + 1);
+  EXPECT_STREQ(forward_outcome_name(r.outcome), "loop");
+}
+
+TEST(Forwarder, DownLinkDropBumpsObservabilityCounter) {
+  Fig5Fixture f;
+  te::Path direct;
+  direct.links = {f.topo.find_link(0, 1)};
+  f.install_route(0, 1, direct);
+  f.topo.set_duplex_up(direct.links[0], false);
+
+  auto& counter = obs::Registry::global().counter("dataplane.down_link_drops");
+  const std::uint64_t before = counter.value();
+  const Forwarder fwd(f.topo, &f.routers);
+  Packet pkt;
+  pkt.dst_ip = topo::host_in(f.prefixes[1]);
+  EXPECT_EQ(fwd.forward(pkt, 0).outcome,
+            ForwardOutcome::kDroppedLinkDownNoBypass);
+  EXPECT_EQ(counter.value(), before + 1);
 }
 
 TEST(Forwarder, LatencyAccumulatesLinkDelays) {

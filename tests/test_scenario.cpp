@@ -205,6 +205,36 @@ TEST(Scenario, ArtifactCarriesScenarioCounters) {
   EXPECT_NE(json.find("max_loss_window"), std::string::npos);
 }
 
+TEST(Scenario, PacketScoringCrossChecksEveryQuiescentPoint) {
+  // With packet_scoring on, every invariant checkpoint also drives
+  // sampled packets through the batched dataplane over RCU snapshots; a
+  // clean history must stay clean at packet level, the scored count must
+  // land in the fingerprint, and replay must stay bit-identical.
+  const auto topo = topo::make_abilene();
+  const auto tm = tm_for(topo);
+  ScenarioOptions options;
+  options.n_events = 8;
+  options.packet_scoring = true;
+  options.packets_per_check = 128;
+  const Scenario s(topo, tm, options, 21);
+  const ScenarioResult r = s.run();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  // One batch of packets_per_check per checkpoint (bootstrap + events).
+  EXPECT_GE(r.packets_scored, options.packets_per_check * (r.events_applied + 1));
+  EXPECT_EQ(r.packets_scored % options.packets_per_check, 0u);
+  EXPECT_EQ(s.run().fingerprint(), r.fingerprint());
+
+  // Same seed without scoring: different fingerprint (scored packets are
+  // part of the replay identity), same invariant verdict.
+  ScenarioOptions plain = options;
+  plain.packet_scoring = false;
+  const Scenario p(topo, tm, plain, 21);
+  const ScenarioResult pr = p.run();
+  EXPECT_TRUE(pr.ok());
+  EXPECT_EQ(pr.packets_scored, 0u);
+  EXPECT_NE(pr.fingerprint(), r.fingerprint());
+}
+
 TEST(Invariants, CleanBootstrapPasses) {
   const auto topo = topo::make_abilene();
   DsdnEmulation emu(topo, tm_for(topo));

@@ -160,6 +160,31 @@ TEST(Sublabel, LongPathBeyondTwelveLabelsWorks) {
   EXPECT_EQ(r.final_node, 20u);
 }
 
+TEST(Sublabel, OutOfRangeNodeIsAMissNotAnOobRead) {
+  // Regression: the walk indexed fibs[at] without a bounds check, so a
+  // start node (or a mid-walk hop) outside the table set read out of
+  // range. Both cases must report a clean non-delivery at the offending
+  // node instead.
+  const auto t = topo::make_line(4);
+  const auto a = assign_sublabels(t);
+  auto fibs = build_all_fibs(t, a);
+  te::Path p;
+  p.links = {t.find_link(0, 1), t.find_link(1, 2), t.find_link(2, 3)};
+  const LabelStack stack = encode_sublabel_route(p, a);
+
+  // Start node beyond the table set.
+  const auto start_oob = forward_sublabel(t, fibs, 99, stack);
+  EXPECT_FALSE(start_oob.delivered);
+  EXPECT_EQ(start_oob.final_node, 99u);
+
+  // Tables covering only a prefix of the topology: the walk leaves the
+  // covered range mid-path and must stop at the first uncovered node.
+  fibs.resize(2);
+  const auto mid_oob = forward_sublabel(t, fibs, 0, stack);
+  EXPECT_FALSE(mid_oob.delivered);
+  EXPECT_EQ(mid_oob.final_node, 2u);
+}
+
 TEST(Sublabel, EncodeDecodeRoundtripProperty) {
   // Property sweep: 10k randomized sublabel sequences -- every length up
   // to the 2*kMaxLabelDepth a full stack can carry, boundary values 1
