@@ -29,12 +29,19 @@ DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_dataplane_pps --seconds=0.5 --churn=2 >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
+echo "==> tier-1: perf regression (warn-only) -- fig13 cold medians vs baseline"
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" ./build/bench/bench_fig13_cores >/dev/null
+python3 scripts/validate_bench_json.py \
+  "${ARTIFACT_DIR}"/BENCH_fig13_cores.json \
+  --baseline scripts/bench_baselines/BENCH_fig13_cores.json \
+  --regress cold_median_batch_s,tcomp_8thread_best_s
+
 echo "==> tier-1: TSan build (build-tsan/) -- concurrency suites + batched dataplane"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target test_parallel test_sim test_obs \
-  test_dataplane test_batch_pipeline
+  test_dataplane test_batch_pipeline test_batch_solver
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(test_parallel|test_sim|test_obs|test_dataplane|test_batch_pipeline)$')
+  -R '^(test_parallel|test_sim|test_obs|test_dataplane|test_batch_pipeline|test_batch_solver)$')
 
 echo "==> tier-1: UBSan build (build-ubsan/) -- test_obs + test_metrics"
 cmake -B build-ubsan -S . -DDSDN_SANITIZE=undefined >/dev/null
@@ -51,9 +58,9 @@ echo "==> tier-1: ASan dataplane -- batched pipeline + sublabel bounds"
 cmake --build build-asan -j "${JOBS}" --target test_batch_pipeline test_sublabel
 (cd build-asan && ctest --output-on-failure -R '^(test_batch_pipeline|test_sublabel)$')
 
-echo "==> tier-1: ASan differential check -- incremental TE vs full solver"
-cmake --build build-asan -j "${JOBS}" --target test_incremental
-(cd build-asan && ctest --output-on-failure -R '^test_incremental$')
+echo "==> tier-1: ASan differential check -- incremental TE + batch solver parity"
+cmake --build build-asan -j "${JOBS}" --target test_incremental test_batch_solver
+(cd build-asan && ctest --output-on-failure -R '^(test_incremental|test_batch_solver)$')
 
 echo "==> tier-1: scenario seed swarm (build/) -- 32 seeds, invariants each event"
 # Bounded ~60 s: 28 Abilene histories (24 events each, lossy flooding)

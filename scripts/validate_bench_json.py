@@ -2,11 +2,17 @@
 """Validate BENCH_*.json run artifacts against scripts/bench_schema.json.
 
 Usage: validate_bench_json.py [--schema SCHEMA] FILE [FILE...]
+           [--baseline BASELINE --regress METRIC[,METRIC...] [--slack F]]
 
 Implements the small JSON-Schema subset the schema file uses (type,
 required, properties, additionalProperties, items, minimum, $ref into
 #/definitions) so tier-1 needs nothing beyond the python3 stdlib.
 Exits non-zero and prints one line per violation if any file fails.
+
+With --baseline, each validated file whose "name" matches the baseline
+artifact is additionally compared on the listed lower-is-better metrics:
+a current value above baseline * slack prints a WARN line. The compare
+is warn-only -- machines differ -- so it never affects the exit code.
 """
 
 import argparse
@@ -72,15 +78,49 @@ def validate(value, schema, root, path, errors):
             validate(item, schema["items"], root, f"{path}[{i}]", errors)
 
 
+def compare_baseline(name, doc, baseline, metrics, slack):
+    """Warn-only perf-regression check against a checked-in artifact."""
+    if doc.get("name") != baseline.get("name"):
+        return
+    cur = doc.get("metrics", {})
+    base = baseline.get("metrics", {})
+    for metric in metrics:
+        if metric not in cur or metric not in base:
+            print(f"WARN {name}: metric '{metric}' missing from "
+                  f"{'current' if metric not in cur else 'baseline'} "
+                  "artifact; baseline needs refreshing")
+            continue
+        limit = base[metric] * slack
+        if cur[metric] > limit:
+            print(f"WARN {name}: {metric} regressed: {cur[metric]:.6g} > "
+                  f"baseline {base[metric]:.6g} * slack {slack:g} "
+                  "(warn-only)")
+        else:
+            print(f"OK   {name}: {metric} {cur[metric]:.6g} within "
+                  f"{slack:g}x of baseline {base[metric]:.6g}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--schema",
                     default=Path(__file__).with_name("bench_schema.json"))
+    ap.add_argument("--baseline",
+                    help="checked-in BENCH_*.json to compare against")
+    ap.add_argument("--regress", default="",
+                    help="comma-separated lower-is-better metrics to check")
+    ap.add_argument("--slack", type=float, default=1.5,
+                    help="warn when current > baseline * slack")
     ap.add_argument("files", nargs="+")
     args = ap.parse_args()
 
     with open(args.schema) as f:
         schema = json.load(f)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    regress_metrics = [m for m in args.regress.split(",") if m]
 
     failed = False
     for name in args.files:
@@ -100,6 +140,9 @@ def main():
                 print(f"  {e}")
         else:
             print(f"OK   {name}")
+            if baseline is not None:
+                compare_baseline(name, doc, baseline, regress_metrics,
+                                 args.slack)
     return 1 if failed else 0
 
 

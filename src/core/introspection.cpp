@@ -44,6 +44,8 @@ ControllerStatus collect_status(const Controller& controller) {
   s.installs_gave_up = encap.routes_gave_up;
   s.routes_too_deep = encap.routes_too_deep;
   s.te_frozen_demands = controller.last_solve_stats().frozen_demands;
+  s.te_frozen_no_path = controller.last_solve_stats().frozen_no_path;
+  s.te_frozen_round_cap = controller.last_solve_stats().frozen_round_cap;
   if (const te::IncrementalSolver* inc = controller.incremental_solver()) {
     s.te_incremental_solves = inc->incremental_solves();
     s.te_full_solves = inc->full_solves();
@@ -93,7 +95,8 @@ std::string render_status(const ControllerStatus& s,
      << s.flood_retransmits << " retransmits, " << s.flood_gave_up
      << " gave up, " << s.flood_decode_errors << " decode errors\n";
   os << "  TE solver       : " << s.te_frozen_demands
-     << " round-cap frozen demands; incremental "
+     << " frozen demands (" << s.te_frozen_no_path << " no-path, "
+     << s.te_frozen_round_cap << " round-cap); incremental "
      << s.te_incremental_solves << " warm / " << s.te_full_solves
      << " full (" << s.te_incremental_fallbacks << " fallbacks), last reuse "
      << util::format_double(s.te_last_reuse_fraction * 100.0, 1) << "%\n";

@@ -42,10 +42,14 @@ struct ControllerStatus {
   std::size_t flood_retransmits = 0;
   std::size_t flood_gave_up = 0;
   std::size_t flood_decode_errors = 0;
-  // TE solver health, from the last recompute: demands the round cap
-  // froze unsatisfied (persistent non-zero = starvation), and the
+  // TE solver health, from the last recompute: demands frozen
+  // unsatisfied, split by cause -- no feasible path left (capacity
+  // starvation) vs the max_rounds cap firing (under-convergence;
+  // persistent non-zero = the cap is starving traffic) -- and the
   // warm-start accounting when incremental recompute is enabled.
-  std::size_t te_frozen_demands = 0;
+  std::size_t te_frozen_demands = 0;  // total of the two causes below
+  std::size_t te_frozen_no_path = 0;
+  std::size_t te_frozen_round_cap = 0;
   std::size_t te_incremental_solves = 0;
   std::size_t te_full_solves = 0;
   std::size_t te_incremental_fallbacks = 0;

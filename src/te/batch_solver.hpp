@@ -1,0 +1,116 @@
+#pragma once
+
+// Structure-of-arrays batch TE solver (the GATE direction, ROADMAP
+// item 2): the same approximate max-min waterfill as te::Solver's legacy
+// backend, restructured so the per-round path-search step runs one
+// batched multi-destination SSSP per (source, residual-rank) bucket over
+// flat CSR arrays instead of one heap-allocating Dijkstra per demand.
+//
+// Bit-parity contract: without a PathCache, BatchSolver produces a
+// Solution bit-identical to the legacy backend for any (topology,
+// demands, options, thread count). The load-bearing arguments:
+//
+//  * A Dijkstra run popping (dist, node) pairs in total order finalizes
+//    each node exactly once, and a finalized target's predecessor chain
+//    consists only of already-finalized nodes -- so continuing the run
+//    past one target (to finalize the bucket's remaining targets) can
+//    never change an extracted path. One multi-destination run therefore
+//    yields exactly the per-demand paths of N single-target runs.
+//  * Two demands share a usable-link set iff no link residual falls in
+//    the half-open interval between their sliver thresholds. Bucketing
+//    by (source, rank of threshold among sub-threshold link residuals)
+//    makes sharing exact, not approximate.
+//  * CSR adjacency is laid out in topo.node(u).out_links order and the
+//    heap key is (dist, node), so relaxation and pop order -- and hence
+//    tie-breaks among equal-cost paths -- match te/dijkstra.cpp.
+//  * Grants accumulate into flat (path_id, rate) runs in round order and
+//    finalize in lexicographic link-sequence order, reproducing the
+//    legacy per-allocation std::map<links, double> both in float
+//    summation order and in output path order.
+//
+// With a PathCache the search step delegates to PathCache::get per
+// demand exactly as the legacy backend does (the cache's primary table
+// already amortizes the Dijkstra), keeping cached parity trivially.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "te/solver.hpp"
+#include "te/types.hpp"
+
+namespace dsdn::te {
+
+// Immutable per-solve CSR view of the topology, restricted to up links
+// when the solver's constraints require up (they always do). SoA so an
+// accelerator backend can upload it wholesale.
+struct BatchGraph {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::uint32_t> row_offsets;  // num_nodes + 1
+  std::vector<std::uint32_t> edge_dst;     // per edge: head node
+  std::vector<std::uint32_t> edge_link;    // per edge: topo::LinkId
+  std::vector<double> edge_cost;           // per edge: igp metric
+  std::vector<std::uint32_t> link_src;     // per topo link: tail node
+};
+
+// Reusable scratch for one SSSP run: flat dist/pred arrays with epoch
+// stamping (O(1) reset) and a d-ary heap vector. Workspaces are pooled
+// per solve so memory scales with concurrency, not with the number of
+// distinct sources.
+struct SsspWorkspace {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> pred_link;  // link arriving at each node
+  std::vector<std::uint32_t> stamp;      // dist/pred valid iff == epoch
+  std::vector<std::uint32_t> target_stamp;
+  std::uint32_t epoch = 0;
+  std::vector<std::pair<double, std::uint32_t>> heap;
+
+  void ensure(std::uint32_t num_nodes);
+  // True iff `node` was finalized by the last run (reachable).
+  bool reached(std::uint32_t node) const {
+    return stamp[node] == epoch;
+  }
+};
+
+// Accelerator seam for the batch solver's path-search kernel. The CPU
+// implementation below is the reference; a GPU backend slots in by
+// overriding sssp() (upload residual deltas, run the frontier kernel,
+// read back predecessor arrays) without touching the waterfill.
+class BatchSolverBackend {
+ public:
+  virtual ~BatchSolverBackend() = default;
+  virtual const char* name() const = 0;
+
+  // One batched multi-destination shortest-path run: from `src`, over
+  // links with residual[link] >= min_residual, finalizing at least every
+  // reachable node in targets[0..num_targets) (early-stopping once all
+  // are finalized). Results land in ws (dist/pred_link valid where
+  // ws.reached()). Must be deterministic and safe to call concurrently
+  // on distinct workspaces.
+  virtual void sssp(const BatchGraph& g, const std::vector<double>& residual,
+                    double min_residual, std::uint32_t src,
+                    const std::uint32_t* targets, std::size_t num_targets,
+                    SsspWorkspace& ws) const = 0;
+};
+
+// Process-wide CPU backend (stateless).
+const BatchSolverBackend& cpu_batch_backend();
+
+// Drop-in implementation behind Solver's options/solve API; Solver
+// dispatches here when options.backend == SolverBackend::kBatch.
+class BatchSolver {
+ public:
+  explicit BatchSolver(SolverOptions options) : options_(options) {}
+
+  Solution solve(const topo::Topology& topo,
+                 const traffic::TrafficMatrix& tm,
+                 SolveStats* stats = nullptr,
+                 const std::vector<double>* residual_override = nullptr) const;
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace dsdn::te

@@ -6,6 +6,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "te/batch_solver.hpp"
+#include "te/dijkstra.hpp"
 #include "te/parallel_solver.hpp"
 
 namespace dsdn::te {
@@ -24,27 +26,53 @@ struct ActiveDemand {
   double satisfied_below;  // freeze threshold (tolerance * original rate)
   // Per-round chosen path (empty = none found this round).
   Path round_path;
+  // The min_residual the round path was searched with; a smaller
+  // bottleneck at grant time means earlier demands drained it.
+  double search_min_residual;
 };
+
+// te.solver.* counters cover every solve regardless of backend; the batch
+// solver additionally records te.batch.* internals.
+void record_solver_obs(const SolveStats& s) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& m_solves = reg.counter("te.solver.solves");
+  static obs::Counter& m_rounds = reg.counter("te.solver.rounds");
+  static obs::Counter& m_searches = reg.counter("te.solver.path_searches");
+  static obs::Counter& m_frozen = reg.counter("te.solver.frozen_demands");
+  static obs::Counter& m_frozen_np =
+      reg.counter("te.solver.frozen_no_path");
+  static obs::Counter& m_frozen_rc =
+      reg.counter("te.solver.frozen_round_cap");
+  static obs::Histogram& m_wall = reg.histogram("te.solver.wall_s");
+  static obs::Histogram& m_search_t =
+      reg.histogram("te.solver.path_search_s");
+  static obs::Histogram& m_alloc_t = reg.histogram("te.solver.allocation_s");
+  m_solves.inc();
+  m_rounds.add(s.rounds);
+  m_searches.add(s.path_searches);
+  m_frozen.add(s.frozen_demands);
+  m_frozen_np.add(s.frozen_no_path);
+  m_frozen_rc.add(s.frozen_round_cap);
+  m_wall.record(s.wall_time_s);
+  m_search_t.record(s.path_search_time_s);
+  m_alloc_t.record(s.allocation_time_s);
+}
 
 }  // namespace
 
 Solution Solver::solve(const topo::Topology& topo,
                        const traffic::TrafficMatrix& tm, SolveStats* stats,
                        const std::vector<double>* residual_override) const {
-  DSDN_TRACE_SPAN("te.solve");
-  // Handles into the global registry, resolved once per process; the
-  // per-round updates below are relaxed shard adds.
-  auto& reg = obs::Registry::global();
-  static obs::Counter& m_solves = reg.counter("te.solver.solves");
-  static obs::Counter& m_rounds = reg.counter("te.solver.rounds");
-  static obs::Counter& m_searches = reg.counter("te.solver.path_searches");
-  static obs::Counter& m_frozen = reg.counter("te.solver.frozen_demands");
-  static obs::Histogram& m_wall = reg.histogram("te.solver.wall_s");
-  static obs::Histogram& m_search_t =
-      reg.histogram("te.solver.path_search_s");
-  static obs::Histogram& m_alloc_t = reg.histogram("te.solver.allocation_s");
+  if (options_.backend == SolverBackend::kBatch) {
+    SolveStats batch_stats;
+    Solution solution =
+        BatchSolver(options_).solve(topo, tm, &batch_stats, residual_override);
+    record_solver_obs(batch_stats);
+    if (stats) *stats = batch_stats;
+    return solution;
+  }
 
-  const auto t_start = Clock::now();
+  DSDN_TRACE_SPAN("te.solve");
   SolveStats local_stats;
 
   Solution solution;
@@ -75,6 +103,10 @@ Solution Solver::solve(const topo::Topology& topo,
   ThreadPool local_pool(options_.pool ? 1 : options_.num_threads);
   const ThreadPool& pool = options_.pool ? *options_.pool : local_pool;
 
+  // Clock starts after pool setup: wall_time_s measures the solve, not
+  // thread spawning, so single-shot and pooled runs report comparably.
+  const auto t_start = Clock::now();
+
   // Accumulates (path -> rate) per allocation; converted to weights at
   // the end.
   std::vector<std::map<std::vector<topo::LinkId>, double>> placed(
@@ -91,7 +123,8 @@ Solution Solver::solve(const topo::Topology& topo,
             {i, d.rate_gbps,
              std::max(options_.epsilon_gbps,
                       options_.satisfied_tolerance * d.rate_gbps),
-             {}});
+             {},
+             0.0});
       }
     }
 
@@ -106,11 +139,7 @@ Solution Solver::solve(const topo::Topology& topo,
       double max_remaining = 0.0;
       for (const ActiveDemand& ad : active)
         max_remaining = std::max(max_remaining, ad.remaining_gbps);
-      const double quantum =
-          options_.quantum_gbps > 0.0
-              ? options_.quantum_gbps
-              : std::max(max_remaining / options_.quantum_divisor,
-                         options_.epsilon_gbps * 10.0);
+      const double quantum = detail::round_quantum(options_, max_remaining);
 
       // ---- Step 1: data-parallel path search ----
       DSDN_TRACE_SPAN("te.round");
@@ -124,13 +153,14 @@ Solution Solver::solve(const topo::Topology& topo,
           c.residual_gbps = &residual;
           // Require room for at least a sliver of this round's grant so
           // we don't select paths we cannot use.
-          c.min_residual = std::min(quantum, ad.remaining_gbps) * 1e-3 +
-                           options_.epsilon_gbps;
+          c.min_residual =
+              detail::sliver_threshold(options_, quantum, ad.remaining_gbps);
           std::optional<Path> p =
               options_.cache
                   ? options_.cache->get(topo, d.src, d.dst, c)
                   : shortest_path(topo, d.src, d.dst, c);
           ad.round_path = p ? std::move(*p) : Path{};
+          ad.search_min_residual = c.min_residual;
         });
       }
       local_stats.path_searches += active.size();
@@ -144,13 +174,39 @@ Solution Solver::solve(const topo::Topology& topo,
       for (ActiveDemand& ad : active) {
         Allocation& alloc = solution.allocations[ad.alloc_index];
         if (ad.round_path.empty()) {
-          continue;  // no feasible path: freeze (possibly partially filled)
+          // No feasible path: freeze (possibly partially filled).
+          ++local_stats.frozen_no_path;
+          continue;
         }
         // Grant: at most the quantum, the remaining demand, and the
         // path's bottleneck residual.
         double bottleneck = std::numeric_limits<double>::infinity();
         for (topo::LinkId l : ad.round_path.links)
           bottleneck = std::min(bottleneck, residual[l]);
+        // Earlier demands in this serialized loop may have drained the
+        // path below the residual floor it was searched with. Granting
+        // the sub-sliver remainder would leave the demand spinning on an
+        // infeasible path until max_rounds; re-search against current
+        // residuals instead, and freeze if nothing is left.
+        if (bottleneck < ad.search_min_residual) {
+          SpConstraints c;
+          c.residual_gbps = &residual;
+          c.min_residual = ad.search_min_residual;
+          const auto& d = alloc.demand;
+          std::optional<Path> p =
+              options_.cache
+                  ? options_.cache->get(topo, d.src, d.dst, c)
+                  : shortest_path(topo, d.src, d.dst, c);
+          ++local_stats.path_searches;
+          if (!p) {
+            ++local_stats.frozen_no_path;
+            continue;
+          }
+          ad.round_path = std::move(*p);
+          bottleneck = std::numeric_limits<double>::infinity();
+          for (topo::LinkId l : ad.round_path.links)
+            bottleneck = std::min(bottleneck, residual[l]);
+        }
         double grant = std::min({quantum, ad.remaining_gbps, bottleneck});
         // Top off: when the remainder after this grant would fall under
         // the satisfaction tolerance and the path has room, finish the
@@ -175,8 +231,10 @@ Solution Solver::solve(const topo::Topology& topo,
     // Demands still wanting capacity when the round cap fired: they are
     // frozen (possibly part-filled) without a feasibility verdict.
     // Account them so starvation is visible instead of silent.
-    local_stats.frozen_demands += active.size();
+    local_stats.frozen_round_cap += active.size();
   }
+  local_stats.frozen_demands =
+      local_stats.frozen_no_path + local_stats.frozen_round_cap;
 
   // Convert accumulated per-path rates into weighted paths.
   for (std::size_t i = 0; i < solution.allocations.size(); ++i) {
@@ -199,13 +257,7 @@ Solution Solver::solve(const topo::Topology& topo,
   local_stats.pool_imbalance = pool_stats.imbalance();
 
   local_stats.wall_time_s = seconds_since(t_start);
-  m_solves.inc();
-  m_rounds.add(local_stats.rounds);
-  m_searches.add(local_stats.path_searches);
-  m_frozen.add(local_stats.frozen_demands);
-  m_wall.record(local_stats.wall_time_s);
-  m_search_t.record(local_stats.path_search_time_s);
-  m_alloc_t.record(local_stats.allocation_time_s);
+  record_solver_obs(local_stats);
   if (stats) *stats = local_stats;
   return solution;
 }

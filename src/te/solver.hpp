@@ -33,8 +33,29 @@
 namespace dsdn::te {
 
 class ThreadPool;
+class BatchSolverBackend;
+
+// Which waterfill implementation Solver::solve runs. Both compute the
+// same algorithm; without a PathCache they produce bit-identical
+// Solutions (asserted in tests/test_batch_solver.cpp), so the backend is
+// a pure performance choice and every router in a fleet may pick either.
+enum class SolverBackend {
+  // One heap-allocating Dijkstra per demand per round (the paper's
+  // original shape; kept as the differential-testing reference).
+  kLegacy,
+  // Structure-of-arrays batch solver (te::BatchSolver): demands bucketed
+  // by source, one multi-destination SSSP per bucket per round over flat
+  // arrays, interned path IDs. The GATE direction (PAPERS.md).
+  kBatch,
+};
 
 struct SolverOptions {
+  // Waterfill implementation. Batch is the default: same results,
+  // order-of-magnitude faster cold solves on large topologies.
+  SolverBackend backend = SolverBackend::kBatch;
+  // Optional accelerator backend for the batch solver's path-search
+  // kernels. Null = the process-wide CPU backend. Ignored by kLegacy.
+  BatchSolverBackend* batch_backend = nullptr;
   // Threads for the path-search step. 1 = fully serial.
   std::size_t num_threads = 1;
   // Optional externally owned thread pool, reused across solves so the
@@ -65,10 +86,15 @@ struct SolveStats {
   double allocation_time_s = 0.0;   // serialized portion
   std::size_t rounds = 0;
   std::size_t path_searches = 0;
-  // Demands still unsatisfied when the max_rounds safety valve fired
-  // (frozen part-filled without a feasibility verdict). Persistent
-  // non-zero values mean the round cap is starving traffic.
+  // Demands frozen before satisfaction, by cause. frozen_demands is the
+  // total (kept for existing consumers); the split tells starvation
+  // (no_path: the network genuinely ran out of residual capacity) apart
+  // from under-convergence (round_cap: the max_rounds safety valve fired
+  // with no feasibility verdict -- persistent non-zero values mean the
+  // round cap is starving traffic).
   std::size_t frozen_demands = 0;
+  std::size_t frozen_no_path = 0;
+  std::size_t frozen_round_cap = 0;
   // Thread-pool scheduling counters, snapshotted at solve end (for a
   // solver-owned pool these cover exactly this solve; for an external
   // SolverOptions::pool they are the pool's lifetime totals).
@@ -94,5 +120,33 @@ class Solver {
  private:
   SolverOptions options_;
 };
+
+namespace detail {
+
+// Round math shared by the legacy and batch solvers. Bit-parity between
+// the two backends depends on both computing quantum and the sliver
+// threshold with the exact same expressions, so they live here instead
+// of being duplicated.
+
+// Per-round grant quantum for a class whose largest remaining demand is
+// max_remaining.
+inline double round_quantum(const SolverOptions& options,
+                            double max_remaining) {
+  if (options.quantum_gbps > 0.0) return options.quantum_gbps;
+  double quantum = max_remaining / options.quantum_divisor;
+  return quantum > options.epsilon_gbps * 10.0 ? quantum
+                                               : options.epsilon_gbps * 10.0;
+}
+
+// Minimum usable link residual for a demand's path search this round: a
+// link is worth taking only if it can carry a meaningful sliver of the
+// round's grant.
+inline double sliver_threshold(const SolverOptions& options, double quantum,
+                               double remaining_gbps) {
+  double grant = quantum < remaining_gbps ? quantum : remaining_gbps;
+  return grant * 1e-3 + options.epsilon_gbps;
+}
+
+}  // namespace detail
 
 }  // namespace dsdn::te

@@ -595,6 +595,8 @@ TEST(Introspection, RenderStatusGolden) {
   s.flood_gave_up = 1;
   s.flood_decode_errors = 3;
   s.te_frozen_demands = 2;
+  s.te_frozen_no_path = 1;
+  s.te_frozen_round_cap = 1;
   s.te_incremental_solves = 8;
   s.te_full_solves = 1;
   s.te_incremental_fallbacks = 1;
@@ -612,7 +614,8 @@ TEST(Introspection, RenderStatusGolden) {
       "1 gave up, 2 too deep\n"
       "  flooding        : 120 transmissions, 6 retransmits, 1 gave up, "
       "3 decode errors\n"
-      "  TE solver       : 2 round-cap frozen demands; incremental 8 warm / "
+      "  TE solver       : 2 frozen demands (1 no-path, 1 round-cap); "
+      "incremental 8 warm / "
       "1 full (1 fallbacks), last reuse 87.5%\n");
 }
 

@@ -2,6 +2,7 @@
 
 #include "te/dijkstra.hpp"
 #include "te/ksp.hpp"
+#include "te/parallel_solver.hpp"
 #include "te/path_cache.hpp"
 #include "te/solver.hpp"
 #include "topo/builder.hpp"
@@ -409,12 +410,112 @@ TEST(Solver, RoundCapFreezesAreCounted) {
   SolveStats stats;
   const auto sol = Solver(opt).solve(t, tm, &stats);
   EXPECT_EQ(stats.frozen_demands, 1u);
+  EXPECT_EQ(stats.frozen_round_cap, 1u);
+  EXPECT_EQ(stats.frozen_no_path, 0u);
   EXPECT_LT(sol.allocations[0].allocated_gbps, 8.0);
 
   // An unconstrained solve freezes nothing.
   SolveStats ok;
   Solver().solve(t, tm, &ok);
   EXPECT_EQ(ok.frozen_demands, 0u);
+}
+
+TEST(Solver, NoPathFreezesAreCounted) {
+  // Starvation accounting: a demand that exhausts the network's capacity
+  // is frozen because no feasible path remains -- a different cause than
+  // the round cap, and one that used to exit the active set uncounted.
+  const auto t = topo::make_line(2, 10.0);  // one 10G bottleneck
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 20.0});
+  for (SolverBackend backend : {SolverBackend::kLegacy, SolverBackend::kBatch}) {
+    SolverOptions opt;
+    opt.backend = backend;
+    SolveStats stats;
+    const auto sol = Solver(opt).solve(t, tm, &stats);
+    EXPECT_NEAR(sol.allocations[0].allocated_gbps, 10.0, 1e-6);
+    EXPECT_EQ(stats.frozen_no_path, 1u);
+    EXPECT_EQ(stats.frozen_round_cap, 0u);
+    EXPECT_EQ(stats.frozen_demands, 1u);
+  }
+}
+
+TEST(Solver, DrainedRoundPathIsResearchedNotSpun) {
+  // Two same-priority demands contend for one bottleneck link. With a
+  // full-rate quantum the first demand drains the link in the serialized
+  // grant loop; the second demand's round path is then infeasible. It
+  // must be re-searched (and here frozen as no-path) in the same round,
+  // not kept spinning on a sub-epsilon grant until max_rounds fires.
+  const auto t = topo::make_line(2, 10.0);
+  traffic::TrafficMatrix tm;
+  tm.add({0, 1, PriorityClass::kHigh, 10.0});
+  tm.add({0, 1, PriorityClass::kHigh, 10.0});
+  for (SolverBackend backend : {SolverBackend::kLegacy, SolverBackend::kBatch}) {
+    SolverOptions opt;
+    opt.backend = backend;
+    opt.quantum_gbps = 10.0;
+    SolveStats stats;
+    const auto sol = Solver(opt).solve(t, tm, &stats);
+    EXPECT_EQ(stats.rounds, 1u);  // no wasted spin rounds
+    EXPECT_EQ(stats.frozen_no_path, 1u);
+    EXPECT_EQ(stats.frozen_round_cap, 0u);
+    EXPECT_NEAR(sol.allocations[0].allocated_gbps, 10.0, 1e-6);
+    EXPECT_NEAR(sol.allocations[1].allocated_gbps, 0.0, 1e-9);
+  }
+}
+
+TEST(Solver, DrainedRoundPathResearchFindsAlternate) {
+  // Same contention, but an alternate branch exists: the re-search must
+  // divert the drained demand onto it within the same round instead of
+  // wasting a round on a zero grant.
+  const auto t = diamond();  // two 10G branches
+  traffic::TrafficMatrix tm;
+  tm.add({0, 3, PriorityClass::kHigh, 10.0});
+  tm.add({0, 3, PriorityClass::kHigh, 10.0});
+  for (SolverBackend backend : {SolverBackend::kLegacy, SolverBackend::kBatch}) {
+    SolverOptions opt;
+    opt.backend = backend;
+    opt.quantum_gbps = 10.0;
+    SolveStats stats;
+    const auto sol = Solver(opt).solve(t, tm, &stats);
+    EXPECT_EQ(stats.rounds, 1u);
+    EXPECT_EQ(stats.frozen_demands, 0u);
+    EXPECT_NEAR(sol.allocations[0].allocated_gbps, 10.0, 1e-6);
+    EXPECT_NEAR(sol.allocations[1].allocated_gbps, 10.0, 1e-6);
+    for (double r : sol.residual_capacity(t)) EXPECT_GE(r, -1e-6);
+  }
+}
+
+TEST(Solver, PooledAndUnpooledStatsAgree) {
+  // wall_time_s must measure the solve, not thread spawning: a solve
+  // with a solver-owned pool reports the same work statistics as one
+  // reusing an external pool, and neither folds pool setup into wall
+  // time (the clock starts after the pool exists).
+  const auto t = diamond();
+  traffic::TrafficMatrix tm;
+  tm.add({0, 3, PriorityClass::kHigh, 5.0});
+
+  SolverOptions unpooled;
+  unpooled.backend = SolverBackend::kLegacy;
+  unpooled.num_threads = 4;
+  SolveStats a;
+  Solver(unpooled).solve(t, tm, &a);
+
+  ThreadPool shared(4);
+  SolverOptions pooled = unpooled;
+  pooled.pool = &shared;
+  SolveStats b;
+  Solver(pooled).solve(t, tm, &b);
+
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.path_searches, b.path_searches);
+  EXPECT_EQ(a.frozen_demands, b.frozen_demands);
+  EXPECT_GT(a.wall_time_s, 0.0);
+  EXPECT_GT(b.wall_time_s, 0.0);
+  // A trivial solve is microseconds; spawning 3 workers is what used to
+  // dominate the unpooled number. Generous bound so the assertion only
+  // trips on accounting regressions, not scheduler noise.
+  EXPECT_LT(a.wall_time_s, 0.25);
+  EXPECT_LT(b.wall_time_s, 0.25);
 }
 
 }  // namespace
