@@ -14,6 +14,7 @@ using namespace dsdn;
 
 int main() {
   bench::banner("Ablation: sharded dSDN -- failure containment");
+  bench::BenchRun run("ablation_sharding");
 
   const auto base = topo::make_geant();
   traffic::GravityParams gp;
@@ -21,8 +22,13 @@ int main() {
   const auto tm = traffic::generate_gravity(base, gp).aggregated();
   std::printf("base network: %zu nodes, %zu links, %zu flows\n\n",
               base.num_nodes(), base.num_links(), tm.size());
+  run.out().param("nodes", base.num_nodes());
+  run.out().param("links", base.num_links());
+  run.out().param("demands", tm.size());
 
   const auto fibers = sim::pick_failure_fibers(base, 4, 0x5A4D);
+  run.out().param("failure_events", fibers.size());
+  metrics::EmpiricalDistribution exposed_by_k;
 
   std::printf("%8s %16s %18s %20s\n", "planes", "flows exposed",
               "NSU msgs/event", "planes disturbed");
@@ -57,13 +63,24 @@ int main() {
       disturbed_total += disturbed;
       wan.repair_fiber_in_plane(victim, fiber);
     }
-    std::printf("%8zu %15.1f%% %18zu %17.1f/%zu\n", k,
-                100.0 * exposed_total / static_cast<double>(fibers.size()),
+    const double exposed_frac =
+        exposed_total / static_cast<double>(fibers.size());
+    std::printf("%8zu %15.1f%% %18zu %17.1f/%zu\n", k, 100.0 * exposed_frac,
                 msgs_total / fibers.size(),
                 static_cast<double>(disturbed_total) /
                     static_cast<double>(fibers.size()),
                 k);
+    exposed_by_k.add(exposed_frac);
+    const std::string prefix = "k" + std::to_string(k) + "_";
+    run.out().metric(prefix + "flows_exposed_fraction", exposed_frac);
+    run.out().metric(prefix + "nsu_msgs_per_event",
+                     static_cast<double>(msgs_total) /
+                         static_cast<double>(fibers.size()));
+    run.out().metric(prefix + "planes_disturbed",
+                     static_cast<double>(disturbed_total) /
+                         static_cast<double>(fibers.size()));
   }
+  run.out().series("flows_exposed_fraction_by_k", exposed_by_k);
 
   std::printf("\nshape check: with K planes only ~1/K of flows are even "
               "exposed to a fiber cut, and exactly one plane's control "

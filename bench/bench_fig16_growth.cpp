@@ -31,7 +31,7 @@ int main() {
     te::SolveStats stats;
     te::Solver().solve(snap.topo, tm, &stats);
     const double server = stats.wall_time_s;
-    std::printf("%-9s %7zu %8zu  %18s  %18s\n", snap.label,
+    std::printf("%-9s %7zu %8zu  %18s  %18s\n", snap.label.c_str(),
                 snap.topo.num_nodes(), tm.size(),
                 util::format_duration(server).c_str(),
                 util::format_duration(server /

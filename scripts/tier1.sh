@@ -27,6 +27,13 @@ DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
 # labels, quiesced hard drops).
 DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_dataplane_pps --seconds=0.5 --churn=2 >/dev/null
+# Sharding ablation (flows exposed / NSU fan-out by K) artifact.
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_ablation_sharding >/dev/null
+# Hierarchical scale smoke: the bench exits nonzero when the >= 5x
+# speedup / <= 10% gap gate or the 1/K plane-containment bar fails.
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_hier_scale >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
 echo "==> tier-1: perf regression (warn-only) -- fig13 cold medians vs baseline"
@@ -35,6 +42,12 @@ python3 scripts/validate_bench_json.py \
   "${ARTIFACT_DIR}"/BENCH_fig13_cores.json \
   --baseline scripts/bench_baselines/BENCH_fig13_cores.json \
   --regress cold_median_batch_s,tcomp_8thread_best_s
+
+echo "==> tier-1: perf regression (warn-only) -- hier solve time + gap vs baseline"
+python3 scripts/validate_bench_json.py \
+  "${ARTIFACT_DIR}"/BENCH_hier_scale.json \
+  --baseline scripts/bench_baselines/BENCH_hier_scale.json \
+  --regress hier_solve_s,gap_fraction
 
 echo "==> tier-1: TSan build (build-tsan/) -- concurrency suites + batched dataplane"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
@@ -70,6 +83,12 @@ cmake --build build -j "${JOBS}" --target scenario_swarm
 ./build/tests/scenario_swarm --topo abilene --seeds 28 --lossy
 ./build/tests/scenario_swarm --topo b4 --seeds 2
 ./build/tests/scenario_swarm --topo b2small --seeds 2
+
+echo "==> tier-1: hierarchical plane swarm (build/) -- cuts, SRLGs, crash/rebalance"
+# Full checker battery (solution parity on): per-plane invariants plus
+# cross-plane conservation, HRW placement agreement, and blast radius.
+./build/tests/scenario_swarm --topo abilene --planes 3 --seeds 24
+./build/tests/scenario_swarm --topo b4 --planes 4 --seeds 2
 
 echo "==> tier-1: ASan scenario swarm (build-asan/) -- lossy churn under ASan"
 cmake --build build-asan -j "${JOBS}" --target scenario_swarm

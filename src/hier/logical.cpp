@@ -1,0 +1,97 @@
+#include "hier/logical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+
+namespace dsdn::hier {
+namespace {
+
+// Widest-bottleneck distances from one border to every node, walking only
+// up links interior to `region`. A max-heap Dijkstra variant on bottleneck
+// capacity.
+void widest_from(const topo::Topology& topo, const RegionPartition& part,
+                 std::uint32_t region, topo::NodeId source,
+                 std::vector<double>& width) {
+  width.assign(topo.num_nodes(), 0.0);
+  width[source] = std::numeric_limits<double>::infinity();
+  std::priority_queue<std::pair<double, topo::NodeId>> heap;
+  heap.emplace(width[source], source);
+  while (!heap.empty()) {
+    auto [w, n] = heap.top();
+    heap.pop();
+    if (w < width[n]) continue;
+    for (topo::LinkId lid : topo.node(n).out_links) {
+      const topo::Link& l = topo.link(lid);
+      if (!l.up) continue;
+      if (part.region_of[l.dst] != region) continue;
+      double cand = std::min(w, l.capacity_gbps);
+      if (cand > width[l.dst]) {
+        width[l.dst] = cand;
+        heap.emplace(cand, l.dst);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LogicalTopology build_logical(const topo::Topology& topo,
+                              const RegionPartition& partition) {
+  LogicalTopology out;
+  out.logical_of.assign(topo.num_links(), topo::kInvalidLink);
+  out.nodes.resize(partition.n_regions);
+
+  for (std::uint32_t r = 0; r < partition.n_regions; ++r) {
+    out.graph.add_node("region" + std::to_string(r));
+    LogicalNode& ln = out.nodes[r];
+    ln.region = r;
+    ln.borders = partition.borders[r];
+    std::size_t b = ln.borders.size();
+    ln.transit_gbps.assign(b * b, 0.0);
+    std::vector<double> width;
+    for (std::size_t i = 0; i < b; ++i) {
+      widest_from(topo, partition, r, ln.borders[i], width);
+      for (std::size_t j = 0; j < b; ++j) {
+        if (i == j) {
+          ln.transit_gbps[i * b + j] =
+              std::numeric_limits<double>::infinity();
+        } else {
+          ln.transit_gbps[i * b + j] = width[ln.borders[j]];
+        }
+      }
+    }
+  }
+
+  // Group inter-region up links by ordered region pair; std::map keeps the
+  // logical link numbering deterministic.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<topo::LinkId>>
+      pairs;
+  for (const topo::Link& l : topo.links()) {
+    std::uint32_t a = partition.region_of[l.src];
+    std::uint32_t b = partition.region_of[l.dst];
+    if (a == b || !l.up) continue;
+    pairs[{a, b}].push_back(l.id);
+  }
+  for (auto& [key, concrete] : pairs) {
+    std::sort(concrete.begin(), concrete.end());
+    double cap = 0.0;
+    double metric = std::numeric_limits<double>::infinity();
+    double delay = std::numeric_limits<double>::infinity();
+    for (topo::LinkId lid : concrete) {
+      const topo::Link& l = topo.link(lid);
+      cap += l.capacity_gbps;
+      metric = std::min(metric, l.igp_metric);
+      delay = std::min(delay, l.delay_s);
+    }
+    topo::LinkId logical =
+        out.graph.add_link(key.first, key.second, cap, metric, delay);
+    out.members.push_back(concrete);
+    for (topo::LinkId lid : concrete) out.logical_of[lid] = logical;
+  }
+  return out;
+}
+
+}  // namespace dsdn::hier

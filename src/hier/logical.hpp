@@ -1,0 +1,55 @@
+#pragma once
+
+// Logical-node aggregation ("Recursive SDN for Carrier Networks",
+// PAPERS.md): each region collapses to one logical node, each region pair
+// with inter-region fibers to one directed logical link whose capacity is
+// the sum of its member links. The LogicalNode additionally summarizes the
+// region's interior as a border-to-border transit-capacity matrix (widest
+// intra-region path bottleneck), which the two-level solver uses to reject
+// logical hops the region cannot actually carry.
+//
+// Rebuilding the abstraction is O(links + borders^2 * region_size), cheap
+// enough to redo per solve -- which keeps it consistent with link state by
+// construction instead of by invalidation protocol.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hier/partition.hpp"
+#include "topo/topology.hpp"
+
+namespace dsdn::hier {
+
+struct LogicalNode {
+  std::uint32_t region = 0;
+  std::vector<topo::NodeId> borders;  // concrete border routers, ascending
+  // transit_gbps[i * borders.size() + j]: widest intra-region bottleneck
+  // from borders[i] to borders[j] over up links; 0 when disconnected.
+  std::vector<double> transit_gbps;
+
+  double transit(std::size_t i, std::size_t j) const {
+    return transit_gbps[i * borders.size() + j];
+  }
+};
+
+struct LogicalTopology {
+  // One node per region; one directed link per region pair with live
+  // inter-region members. Node/region indices coincide.
+  topo::Topology graph;
+  std::vector<LogicalNode> nodes;
+  // logical LinkId -> concrete inter-region member links (up only,
+  // ascending by id). Aggregate capacity = sum of member capacities.
+  std::vector<std::vector<topo::LinkId>> members;
+  // concrete LinkId -> logical LinkId (kInvalidLink for intra-region or
+  // down links).
+  std::vector<topo::LinkId> logical_of;
+};
+
+// Builds the logical view of `topo` under `partition`. Only up links
+// contribute capacity; a region pair whose members are all down gets no
+// logical link (matching how flooding would expose the cut).
+LogicalTopology build_logical(const topo::Topology& topo,
+                              const RegionPartition& partition);
+
+}  // namespace dsdn::hier

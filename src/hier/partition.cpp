@@ -1,0 +1,217 @@
+#include "hier/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+namespace dsdn::hier {
+namespace {
+
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+// Clustering unit: a metro (all nodes sharing a tag) or a single node when
+// the topology carries no metro tags.
+struct Unit {
+  std::vector<topo::NodeId> nodes;
+  std::vector<std::uint32_t> neighbors;  // adjacent unit indices, deduped
+};
+
+std::vector<Unit> build_units(const topo::Topology& topo,
+                              std::vector<std::uint32_t>& unit_of_node) {
+  std::unordered_map<std::string, std::uint32_t> metro_index;
+  std::vector<Unit> units;
+  unit_of_node.assign(topo.num_nodes(), kUnassigned);
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const std::string& metro = topo.node(n).metro;
+    std::uint32_t u;
+    if (metro.empty()) {
+      u = static_cast<std::uint32_t>(units.size());
+      units.emplace_back();
+    } else {
+      auto [it, inserted] =
+          metro_index.emplace(metro, static_cast<std::uint32_t>(units.size()));
+      if (inserted) units.emplace_back();
+      u = it->second;
+    }
+    unit_of_node[n] = u;
+    units[u].nodes.push_back(n);
+  }
+  for (const topo::Link& l : topo.links()) {
+    std::uint32_t a = unit_of_node[l.src];
+    std::uint32_t b = unit_of_node[l.dst];
+    if (a == b) continue;
+    units[a].neighbors.push_back(b);
+    units[b].neighbors.push_back(a);
+  }
+  for (Unit& u : units) {
+    std::sort(u.neighbors.begin(), u.neighbors.end());
+    u.neighbors.erase(std::unique(u.neighbors.begin(), u.neighbors.end()),
+                      u.neighbors.end());
+  }
+  return units;
+}
+
+// BFS hop distances over the unit graph from a single source.
+std::vector<std::uint32_t> unit_bfs(const std::vector<Unit>& units,
+                                    std::uint32_t source) {
+  std::vector<std::uint32_t> dist(units.size(), kUnassigned);
+  std::deque<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : units[u].neighbors) {
+      if (dist[v] == kUnassigned) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+RegionPartition partition_regions(const topo::Topology& topo,
+                                  const PartitionOptions& options) {
+  RegionPartition out;
+  out.region_of.assign(topo.num_nodes(), 0);
+  if (topo.num_nodes() == 0) return out;
+
+  std::vector<std::uint32_t> unit_of_node;
+  std::vector<Unit> units = build_units(topo, unit_of_node);
+
+  std::size_t n_regions = options.n_regions;
+  if (n_regions == 0) {
+    n_regions = static_cast<std::size_t>(
+        std::llround(std::sqrt(static_cast<double>(topo.num_nodes()))));
+    n_regions = std::max<std::size_t>(n_regions, 2);
+  }
+  n_regions = std::min(n_regions, units.size());
+  n_regions = std::max<std::size_t>(n_regions, 1);
+
+  // Farthest-first seed selection on the unit graph: the first seed is the
+  // largest unit (ties to lowest index), each subsequent seed maximizes its
+  // BFS distance to all chosen seeds. Deterministic for a fixed topology.
+  std::vector<std::uint32_t> seeds;
+  {
+    std::uint32_t first = 0;
+    for (std::uint32_t u = 1; u < units.size(); ++u) {
+      if (units[u].nodes.size() > units[first].nodes.size()) first = u;
+    }
+    seeds.push_back(first);
+    std::vector<std::uint32_t> min_dist = unit_bfs(units, first);
+    while (seeds.size() < n_regions) {
+      std::uint32_t best = kUnassigned;
+      std::uint32_t best_dist = 0;
+      for (std::uint32_t u = 0; u < units.size(); ++u) {
+        if (std::find(seeds.begin(), seeds.end(), u) != seeds.end()) continue;
+        // Unreachable units sort last so each connected component still gets
+        // a seed before we start subdividing components.
+        std::uint32_t d = min_dist[u];
+        if (best == kUnassigned || d > best_dist ||
+            (d == best_dist && units[u].nodes.size() >
+                                   units[best].nodes.size())) {
+          best = u;
+          best_dist = d;
+        }
+      }
+      if (best == kUnassigned) break;
+      seeds.push_back(best);
+      std::vector<std::uint32_t> d = unit_bfs(units, best);
+      for (std::uint32_t u = 0; u < units.size(); ++u) {
+        min_dist[u] = std::min(min_dist[u], d[u]);
+      }
+    }
+  }
+  n_regions = seeds.size();
+
+  // Balanced multi-source BFS growth: regions absorb adjacent unassigned
+  // units round-robin, skipping regions already past the size cap. If a
+  // full sweep assigns nothing while work remains (cap hit everywhere or a
+  // disconnected unit), the cap relaxes.
+  std::vector<std::uint32_t> region_of_unit(units.size(), kUnassigned);
+  std::vector<std::deque<std::uint32_t>> frontier(n_regions);
+  std::vector<std::size_t> region_size(n_regions, 0);
+  std::size_t assigned_units = 0;
+  for (std::uint32_t r = 0; r < n_regions; ++r) {
+    region_of_unit[seeds[r]] = r;
+    region_size[r] = units[seeds[r]].nodes.size();
+    frontier[r].push_back(seeds[r]);
+    ++assigned_units;
+  }
+  double target = static_cast<double>(topo.num_nodes()) /
+                  static_cast<double>(n_regions);
+  double cap = target * (1.0 + options.balance_slack);
+  while (assigned_units < units.size()) {
+    bool progressed = false;
+    for (std::uint32_t r = 0; r < n_regions; ++r) {
+      if (static_cast<double>(region_size[r]) > cap) continue;
+      bool grew = false;
+      while (!frontier[r].empty() && !grew) {
+        std::uint32_t u = frontier[r].front();
+        for (std::uint32_t v : units[u].neighbors) {
+          if (region_of_unit[v] != kUnassigned) continue;
+          region_of_unit[v] = r;
+          region_size[r] += units[v].nodes.size();
+          frontier[r].push_back(v);
+          ++assigned_units;
+          progressed = true;
+          grew = true;
+          break;
+        }
+        if (!grew) frontier[r].pop_front();
+      }
+    }
+    if (!progressed) {
+      // Either every growable region is capped, or the remaining units are
+      // unreachable from any frontier. Relax the cap first; if frontiers are
+      // truly exhausted, attach stragglers to the smallest region.
+      bool frontier_alive = false;
+      for (const auto& f : frontier) {
+        if (!f.empty()) frontier_alive = true;
+      }
+      if (frontier_alive) {
+        cap *= 1.25;
+      } else {
+        std::uint32_t smallest = 0;
+        for (std::uint32_t r = 1; r < n_regions; ++r) {
+          if (region_size[r] < region_size[smallest]) smallest = r;
+        }
+        for (std::uint32_t u = 0; u < units.size(); ++u) {
+          if (region_of_unit[u] != kUnassigned) continue;
+          region_of_unit[u] = smallest;
+          region_size[smallest] += units[u].nodes.size();
+          ++assigned_units;
+        }
+      }
+    }
+  }
+
+  out.n_regions = n_regions;
+  out.members.assign(n_regions, {});
+  out.borders.assign(n_regions, {});
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    std::uint32_t r = region_of_unit[unit_of_node[n]];
+    out.region_of[n] = r;
+    out.members[r].push_back(n);
+  }
+  std::vector<char> is_border(topo.num_nodes(), 0);
+  for (const topo::Link& l : topo.links()) {
+    if (out.region_of[l.src] != out.region_of[l.dst]) {
+      is_border[l.src] = 1;
+      is_border[l.dst] = 1;
+    }
+  }
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (is_border[n]) out.borders[out.region_of[n]].push_back(n);
+  }
+  return out;
+}
+
+}  // namespace dsdn::hier

@@ -1,6 +1,7 @@
 #include "shard/sharded_wan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "te/parallel_solver.hpp"
@@ -11,6 +12,12 @@ namespace dsdn::shard {
 std::vector<topo::Topology> make_planes(const topo::Topology& base,
                                         std::size_t k) {
   if (k == 0) throw std::invalid_argument("make_planes: k == 0");
+  // Striping is exact in integer kbps units so that the K planes' stripes
+  // sum to the base fiber's capacity even when it does not divide evenly
+  // (naive capacity/k loses up to (k-1)/k kbps per fiber). The remainder
+  // units rotate across planes by duplex-fiber index, so no plane is
+  // systematically fatter than the others.
+  constexpr double kUnitsPerGbps = 1e6;  // 1 kbps resolution
   std::vector<topo::Topology> planes;
   planes.reserve(k);
   for (std::size_t p = 0; p < k; ++p) {
@@ -18,12 +25,18 @@ std::vector<topo::Topology> make_planes(const topo::Topology& base,
     for (const topo::Node& n : base.nodes()) {
       plane.add_node(n.name, n.metro, n.gravity_weight);
     }
+    std::size_t fiber_index = 0;
     for (const topo::Link& l : base.links()) {
       // One pass per duplex fiber.
       if (l.reverse == topo::kInvalidLink || l.id < l.reverse) {
+        const auto units = static_cast<std::uint64_t>(
+            std::llround(l.capacity_gbps * kUnitsPerGbps));
+        std::uint64_t stripe = units / k;
+        if ((p + fiber_index) % k < units % k) ++stripe;
         plane.add_duplex(l.src, l.dst,
-                         l.capacity_gbps / static_cast<double>(k),
+                         static_cast<double>(stripe) / kUnitsPerGbps,
                          l.igp_metric, l.delay_s);
+        ++fiber_index;
       }
     }
     plane.validate();

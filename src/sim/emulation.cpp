@@ -332,6 +332,32 @@ void DsdnEmulation::scale_demands(double factor, topo::NodeId origin) {
   recompute_dirty();
 }
 
+void DsdnEmulation::update_demands(traffic::TrafficMatrix tm) {
+  DSDN_TRACE_SPAN("emu.update_demands");
+  // Diff per-origin aggregated rows so only origins whose advertised
+  // demand actually changed re-originate (NSU churn stays proportional to
+  // the rebalance, not the fleet size).
+  std::vector<char> changed(topo_.num_nodes(), 0);
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    auto before = traffic::TrafficMatrix(tm_.from(n)).aggregated();
+    auto after = traffic::TrafficMatrix(tm.from(n)).aggregated();
+    if (before.demands() != after.demands()) changed[n] = 1;
+  }
+  // tm_'s address is stable (SimTelemetry holds a pointer to it); assign
+  // in place.
+  tm_ = std::move(tm);
+  bool any = false;
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (changed[n]) {
+      originate_and_flood(n);
+      any = true;
+    }
+  }
+  if (!any) return;
+  run_to_quiescence();
+  recompute_dirty();
+}
+
 void DsdnEmulation::set_incremental_te(bool enabled) {
   config_.incremental_te = enabled;
   for (auto& c : controllers_) c->set_incremental_te(enabled);

@@ -113,6 +113,13 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void scale_demands(double factor,
                      topo::NodeId origin = topo::kInvalidNode);
 
+  // Replaces the oracle demand matrix wholesale: origins whose rows
+  // changed re-advertise, the fleet floods to quiescence and recomputes.
+  // This is how the hierarchical plane runtime rebalances a failed
+  // plane's flows onto survivors (hier::PlaneRuntime). Only meaningful
+  // without in-band measurement.
+  void update_demands(traffic::TrafficMatrix tm);
+
   // Flips warm-start incremental TE on every controller mid-run (the
   // scenario harness toggles this across histories). Also updates the
   // config used for controllers created by future crash recoveries.

@@ -6,7 +6,13 @@
 //
 //   scenario_swarm [--topo abilene|b4|b2small|all] [--seeds N]
 //                  [--start S] [--events N] [--lossy] [--bug]
-//                  [--no-parity] [--artifact-dir DIR]
+//                  [--no-parity] [--artifact-dir DIR] [--planes K]
+//
+// --planes K > 0 switches to the hierarchical plane swarm: the same
+// topologies, but each seed drives K sharded dSDN planes through
+// plane-local cuts, cross-plane SRLG conduit cuts, and plane
+// crash/rebalance/restore (hier/scenario.hpp) instead of the flat
+// single-plane schedule.
 //
 // --bug plants the kSkipReprogramOnCut fault (a router that skips
 // down-link zeroing) to prove the swarm catches real bugs and shrinks
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "hier/scenario.hpp"
 #include "sim/scenario.hpp"
 #include "topo/synthetic.hpp"
 #include "topo/zoo.hpp"
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
   bool bug = false;
   bool parity = true;
   std::string artifact_dir;
+  std::size_t planes = 0;  // > 0: hierarchical plane swarm
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,14 +125,57 @@ int main(int argc, char** argv) {
       parity = false;
     } else if (arg == "--artifact-dir") {
       artifact_dir = next();
+    } else if (arg == "--planes") {
+      planes = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     }
   }
 
+  if (planes > 0 && bug) {
+    std::fprintf(stderr, "--bug is a flat-scenario fault; drop --planes\n");
+    return 2;
+  }
+
   bool failed = false;
   for (const std::string& name : topos) {
+    if (planes > 0) {
+      // Hierarchical plane swarm: plane-targeted events + the cross-plane
+      // checker battery (conservation, HRW placement, blast radius).
+      const std::size_t n_events = events ? events : 8;
+      SwarmConfig cfg = make_config(name, n_events, lossy, false, parity);
+      hier::PlaneScenarioOptions options;
+      options.planes = planes;
+      options.n_events = n_events;
+      options.invariants.check_solution_parity = parity;
+      std::printf("[%s] %zu nodes, %zu links, %zu demands; %zu planes, "
+                  "%zu seeds x %zu events\n",
+                  name.c_str(), cfg.topo.num_nodes(), cfg.topo.num_links(),
+                  cfg.tm.size(), planes, n_seeds, n_events);
+      std::fflush(stdout);
+      const auto failure = hier::run_plane_swarm(cfg.topo, cfg.tm, options,
+                                                 start, n_seeds);
+      if (failure) {
+        failed = true;
+        std::printf("[%s] FAIL at seed %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(failure->seed));
+        for (const auto& e : failure->result.events)
+          std::printf("  event: %s\n", e.c_str());
+        for (const auto& v : failure->result.violations)
+          std::printf("  violation: %s\n", v.c_str());
+        std::printf("  replay: scenario_swarm --topo %s --planes %zu "
+                    "--seeds 1 --start %llu --events %zu%s\n",
+                    name.c_str(), planes,
+                    static_cast<unsigned long long>(failure->seed), n_events,
+                    parity ? "" : " --no-parity");
+        break;
+      }
+      std::printf("[%s] PASS: plane seeds [%llu, %llu) clean\n", name.c_str(),
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(start + n_seeds));
+      continue;
+    }
     const std::size_t n_events = events ? events : default_events(name);
     SwarmConfig cfg = make_config(name, n_events, lossy, bug, parity);
     std::printf("[%s] %zu nodes, %zu links, %zu demands; %zu seeds x %zu "

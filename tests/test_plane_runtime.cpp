@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hier/plane_runtime.hpp"
+#include "hier/scenario.hpp"
+#include "topo/zoo.hpp"
+#include "traffic/gravity.hpp"
+
+namespace dsdn::hier {
+namespace {
+
+using metrics::PriorityClass;
+
+TEST(PlaceFlow, RendezvousMovesOnlyTheFailedPlanesFlows) {
+  // HRW property: when plane 2 dies, exactly the flows whose all-alive
+  // argmax was 2 re-place; every other flow keeps its plane. When it
+  // returns, the same set -- and only it -- moves home.
+  std::vector<char> all(4, 1);
+  std::vector<char> degraded = all;
+  degraded[2] = 0;
+  std::size_t moved = 0, kept = 0;
+  for (topo::NodeId src = 0; src < 40; ++src) {
+    for (topo::NodeId dst = 0; dst < 40; ++dst) {
+      if (src == dst) continue;
+      std::size_t before = place_flow(src, dst, PriorityClass::kHigh, all);
+      std::size_t after = place_flow(src, dst, PriorityClass::kHigh, degraded);
+      if (before == 2) {
+        EXPECT_NE(after, 2u);
+        ++moved;
+      } else {
+        EXPECT_EQ(after, before);
+        ++kept;
+      }
+      EXPECT_EQ(place_flow(src, dst, PriorityClass::kHigh, all), before);
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_GT(kept, 0u);
+  // Roughly 1/4 of flows lived on plane 2.
+  double fraction = static_cast<double>(moved) /
+                    static_cast<double>(moved + kept);
+  EXPECT_NEAR(fraction, 0.25, 0.06);
+  EXPECT_THROW(place_flow(0, 1, PriorityClass::kHigh, {0, 0}),
+               std::logic_error);
+}
+
+class PlaneRuntimeTest : public ::testing::Test {
+ protected:
+  PlaneRuntimeTest() : base_(topo::make_abilene()) {
+    traffic::GravityParams gp;
+    gp.pair_fraction = 0.6;
+    gp.seed = 0xF10;
+    tm_ = traffic::generate_gravity(base_, gp).aggregated();
+    PlaneRuntimeConfig config;
+    config.planes = 3;
+    config.score_packets = 128;
+    runtime_ = std::make_unique<PlaneRuntime>(base_, tm_, config);
+    runtime_->bootstrap();
+  }
+
+  topo::Topology base_;
+  traffic::TrafficMatrix tm_;
+  std::unique_ptr<PlaneRuntime> runtime_;
+};
+
+TEST_F(PlaneRuntimeTest, BootstrapPlacesEveryFlowWhereHrwSays) {
+  EXPECT_TRUE(runtime_->all_planes_converged());
+  EXPECT_EQ(runtime_->total_flows(), tm_.size());
+  EXPECT_NEAR(runtime_->total_rate_gbps(), tm_.total_rate_gbps(), 1e-9);
+  for (std::size_t p = 0; p < runtime_->num_planes(); ++p) {
+    for (const auto& d : runtime_->plane_demands(p)) {
+      EXPECT_EQ(runtime_->plane_of(d.src, d.dst, d.priority), p);
+    }
+  }
+}
+
+TEST_F(PlaneRuntimeTest, SendPacketUsesTheSnapshotOfTheFlowsPlane) {
+  for (const auto& d : tm_.demands()) {
+    const auto r = runtime_->send_packet(d.src, d.dst, d.priority);
+    EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered)
+        << d.src << "->" << d.dst;
+  }
+}
+
+TEST_F(PlaneRuntimeTest, FailPlaneRebalancesOntoSurvivorsAndRestores) {
+  const std::size_t flows_before = runtime_->total_flows();
+  const double rate_before = runtime_->total_rate_gbps();
+  const std::size_t victim_flows = runtime_->plane_demands(1).size();
+
+  const auto report = runtime_->fail_plane(1);
+  EXPECT_EQ(report.moved_flows, victim_flows);
+  EXPECT_LT(report.exposed_fraction, 1.0 / 3.0 + 0.12);
+  EXPECT_EQ(report.score_hard_drops, 0u);
+  EXPECT_GT(report.scored_packets, 0u);
+  EXPECT_FALSE(runtime_->plane_alive(1));
+  EXPECT_EQ(runtime_->num_alive(), 2u);
+  // Conservation: nothing lost in the drain -> re-place -> reprogram.
+  EXPECT_EQ(runtime_->total_flows(), flows_before);
+  EXPECT_NEAR(runtime_->total_rate_gbps(), rate_before, 1e-9);
+  EXPECT_TRUE(runtime_->plane_demands(1).empty());
+  // Survivors carry everything and still deliver.
+  for (const auto& d : tm_.demands()) {
+    const auto r = runtime_->send_packet(d.src, d.dst, d.priority);
+    EXPECT_EQ(r.outcome, dataplane::ForwardOutcome::kDelivered);
+  }
+
+  const auto back = runtime_->restore_plane(1);
+  EXPECT_EQ(back.moved_flows, victim_flows);
+  EXPECT_TRUE(runtime_->plane_alive(1));
+  EXPECT_EQ(runtime_->total_flows(), flows_before);
+  // Exactly the original placement is restored (HRW stability).
+  EXPECT_EQ(runtime_->plane_demands(1).size(), victim_flows);
+  for (std::size_t p = 0; p < runtime_->num_planes(); ++p) {
+    for (const auto& d : runtime_->plane_demands(p)) {
+      EXPECT_EQ(runtime_->plane_of(d.src, d.dst, d.priority), p);
+    }
+  }
+  EXPECT_THROW(runtime_->restore_plane(1), std::invalid_argument);
+}
+
+TEST_F(PlaneRuntimeTest, LastLivePlaneCannotFail) {
+  runtime_->fail_plane(0);
+  runtime_->fail_plane(1);
+  EXPECT_THROW(runtime_->fail_plane(2), std::invalid_argument);
+}
+
+TEST_F(PlaneRuntimeTest, ConduitCutHitsEveryPlaneButPlaneCutOnlyOne) {
+  const topo::LinkId fiber = base_.find_link(0, base_.up_neighbors(0)[0]);
+  const auto msgs2 = runtime_->plane(2).messages_delivered();
+  runtime_->fail_fiber_in_plane(0, fiber);
+  EXPECT_FALSE(runtime_->plane(0).network().link(fiber).up);
+  EXPECT_TRUE(runtime_->plane(1).network().link(fiber).up);
+  EXPECT_EQ(runtime_->plane(2).messages_delivered(), msgs2);
+  runtime_->repair_fiber_in_plane(0, fiber);
+
+  runtime_->fail_conduit(fiber);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_FALSE(runtime_->plane(p).network().link(fiber).up) << p;
+  }
+  runtime_->repair_conduit(fiber);
+  EXPECT_TRUE(runtime_->all_planes_converged());
+}
+
+TEST(PlaneScenario, SeededRunsReplayBitIdentically) {
+  const auto base = topo::make_abilene();
+  traffic::GravityParams gp;
+  gp.pair_fraction = 0.5;
+  gp.seed = 0xABE;
+  const auto tm = traffic::generate_gravity(base, gp).aggregated();
+  PlaneScenarioOptions options;
+  options.planes = 3;
+  options.n_events = 6;
+  options.score_packets = 64;
+  const auto a = run_plane_scenario(base, tm, options, 7);
+  const auto b = run_plane_scenario(base, tm, options, 7);
+  for (const auto& v : a.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_GT(a.events_applied, 0u);
+  EXPECT_GT(a.invariant_checks, 0u);
+}
+
+TEST(PlaneScenario, SmallSwarmIsClean) {
+  const auto base = topo::make_abilene();
+  traffic::GravityParams gp;
+  gp.pair_fraction = 0.5;
+  gp.seed = 0xABE;
+  const auto tm = traffic::generate_gravity(base, gp).aggregated();
+  PlaneScenarioOptions options;
+  options.planes = 3;
+  options.n_events = 5;
+  options.score_packets = 64;
+  // Parity (cold re-solve per plane per event) off to keep CI fast; the
+  // tier-1 swarm leg runs with it on.
+  options.invariants.check_solution_parity = false;
+  const auto failure = run_plane_swarm(base, tm, options, 1, 4);
+  if (failure) {
+    for (const auto& v : failure->result.violations) {
+      ADD_FAILURE() << "seed " << failure->seed << ": " << v;
+    }
+  }
+  EXPECT_FALSE(failure.has_value());
+}
+
+}  // namespace
+}  // namespace dsdn::hier

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "shard/sharded_wan.hpp"
 #include "topo/zoo.hpp"
 #include "traffic/gravity.hpp"
+#include "util/rng.hpp"
 
 namespace dsdn::shard {
 namespace {
@@ -17,10 +20,78 @@ TEST(Planes, SplitPreservesStructureAndStripesCapacity) {
     EXPECT_EQ(plane.num_nodes(), base.num_nodes());
     EXPECT_EQ(plane.num_links(), base.num_links());
   }
-  // Capacity striping: plane links carry 1/k of the base fiber.
-  EXPECT_DOUBLE_EQ(planes[0].link(0).capacity_gbps,
-                   base.link(0).capacity_gbps / 4.0);
+  // Capacity striping: each plane link carries ~1/k of the base fiber
+  // (remainder units may bump one plane by a kbps) and the stripes sum
+  // back to the base capacity exactly.
+  for (topo::LinkId l = 0; l < base.num_links(); ++l) {
+    double sum = 0.0;
+    for (const auto& plane : planes) {
+      EXPECT_NEAR(plane.link(l).capacity_gbps,
+                  base.link(l).capacity_gbps / 4.0, 1e-5);
+      sum += plane.link(l).capacity_gbps;
+    }
+    EXPECT_NEAR(sum, base.link(l).capacity_gbps, 1e-9);
+  }
   EXPECT_THROW(make_planes(base, 0), std::invalid_argument);
+}
+
+TEST(Planes, StripingConservesCapacityWithIndivisibleRemainder) {
+  // 10 Gbps across k=3 does not divide evenly (naive /k loses a third of
+  // a kbps per fiber); quantized striping must conserve the total.
+  topo::Topology base;
+  base.add_node("a");
+  base.add_node("b");
+  base.add_node("c");
+  base.add_duplex(0, 1, 10.0);
+  base.add_duplex(1, 2, 99.999999);  // fractional-kbps stress
+  base.add_duplex(0, 2, 0.001);      // 1000 units across 3 planes
+  const auto planes = make_planes(base, 3);
+  for (topo::LinkId l = 0; l < base.num_links(); ++l) {
+    double sum = 0.0;
+    double lo = 1e18, hi = 0.0;
+    for (const auto& plane : planes) {
+      sum += plane.link(l).capacity_gbps;
+      lo = std::min(lo, plane.link(l).capacity_gbps);
+      hi = std::max(hi, plane.link(l).capacity_gbps);
+    }
+    EXPECT_NEAR(sum, base.link(l).capacity_gbps, 1e-9) << "link " << l;
+    // Remainder distribution is fair: stripes differ by at most one unit.
+    EXPECT_LE(hi - lo, 1e-6 + 1e-12) << "link " << l;
+  }
+}
+
+TEST(Planes, FlowHashBalancesRateAcrossPlanes) {
+  // No plane may carry more than 1/K + epsilon of the total rate -- the
+  // property that makes 1/K capacity stripes sufficient.
+  const auto base = topo::make_geant();
+  traffic::GravityParams gp;
+  gp.pair_fraction = 1.0;  // every metro pair, for a stable estimate
+  const auto tm = traffic::generate_gravity(base, gp).aggregated();
+  for (std::size_t k : {2, 4, 8}) {
+    const auto split = split_demands(tm, k);
+    for (std::size_t p = 0; p < k; ++p) {
+      EXPECT_LT(split[p].total_rate_gbps(),
+                tm.total_rate_gbps() * (1.0 / static_cast<double>(k) + 0.10))
+          << "k=" << k << " plane " << p;
+    }
+  }
+}
+
+TEST(Planes, PacketAndDemandPlaneAgreeOverSeededFlowKeys) {
+  // plane_of_flow is the one hash both sides use; over seeded random flow
+  // keys it must be stable call-to-call and in range.
+  util::Rng rng(0x5EED);
+  for (int i = 0; i < 1000; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_int(0, 4000));
+    const auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, 4000));
+    const auto priority =
+        rng.bernoulli(0.5) ? PriorityClass::kHigh : PriorityClass::kLow;
+    for (std::size_t k : {1, 3, 4}) {
+      const std::size_t p = plane_of_flow(src, dst, priority, k);
+      EXPECT_LT(p, k);
+      EXPECT_EQ(plane_of_flow(src, dst, priority, k), p);
+    }
+  }
 }
 
 TEST(Planes, DemandSplitIsPartitionAndConsistentWithFlowHash) {
