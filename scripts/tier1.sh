@@ -34,6 +34,11 @@ DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
 # speedup / <= 10% gap gate or the 1/K plane-containment bar fails.
 DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_hier_scale >/dev/null
+# Closed-loop online TE: controllers steer on estimated demand while
+# the oracle drifts; exits nonzero on any invariant violation or when
+# the hybrid policy misses the <= 10% regret / <= 25% recompute gate.
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_online_te >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
 echo "==> tier-1: perf regression (warn-only) -- fig13 cold medians vs baseline"
@@ -48,6 +53,12 @@ python3 scripts/validate_bench_json.py \
   "${ARTIFACT_DIR}"/BENCH_hier_scale.json \
   --baseline scripts/bench_baselines/BENCH_hier_scale.json \
   --regress hier_solve_s,gap_fraction
+
+echo "==> tier-1: perf regression (warn-only) -- online TE regret vs baseline"
+python3 scripts/validate_bench_json.py \
+  "${ARTIFACT_DIR}"/BENCH_online_te.json \
+  --baseline scripts/bench_baselines/BENCH_online_te.json \
+  --regress abilene_hybrid_regret_fraction,abilene_hybrid_bad_seconds
 
 echo "==> tier-1: TSan build (build-tsan/) -- concurrency suites + batched dataplane"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
@@ -89,6 +100,11 @@ echo "==> tier-1: hierarchical plane swarm (build/) -- cuts, SRLGs, crash/rebala
 # cross-plane conservation, HRW placement agreement, and blast radius.
 ./build/tests/scenario_swarm --topo abilene --planes 3 --seeds 24
 ./build/tests/scenario_swarm --topo b4 --planes 4 --seeds 2
+
+echo "==> tier-1: closed-loop online TE swarm (build/) -- estimated demand only"
+# 10 Abilene seeds x 64 epochs of diurnal + flash-crowd drift + churn,
+# hybrid recompute policy, invariant suite sampled every 16 epochs.
+./build/tests/scenario_swarm --topo abilene --closed-loop --seeds 10
 
 echo "==> tier-1: ASan scenario swarm (build-asan/) -- lossy churn under ASan"
 cmake --build build-asan -j "${JOBS}" --target scenario_swarm

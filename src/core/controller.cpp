@@ -40,6 +40,11 @@ void Controller::reset_incremental_te() {
   if (incremental_) incremental_->reset();
 }
 
+bool Controller::demand_epoch_due() {
+  if (!recompute_policy_) return true;
+  return recompute_policy_->on_epoch(state_.demands());
+}
+
 std::vector<topo::LinkId> Controller::flood_links(
     topo::LinkId except_arrival) const {
   std::vector<topo::LinkId> out;
@@ -126,6 +131,7 @@ Controller::RecomputeResult Controller::recompute() {
   // All tables for this epoch are installed; publish them as one atomic
   // snapshot swap. Batches already in flight finish on the old epoch.
   if (fib_hub_) fib_hub_->publish_router(config_.self, hw_);
+  if (recompute_policy_) recompute_policy_->note_recompute(state_.demands());
   bus_.publish_as(topics::kSolutionReady, pr.solution);
   return result;
 }

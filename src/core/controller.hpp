@@ -18,6 +18,7 @@
 #include "core/programmer.hpp"
 #include "core/state_db.hpp"
 #include "te/incremental.hpp"
+#include "te/recompute_policy.hpp"
 
 namespace dsdn::dataplane {
 class SnapshotHub;
@@ -131,6 +132,30 @@ class Controller {
   // same barrier restores the identical-solutions property (§3.1).
   void reset_incremental_te();
 
+  // Online-TE recompute policy (closed-loop demand epochs). Null (the
+  // default) preserves the classic behavior: every demand epoch
+  // recomputes. The policy's decisions are deterministic in its view
+  // sequence, so a lockstep fleet running the same policy stays
+  // consistent without coordination.
+  void set_recompute_policy(std::unique_ptr<te::RecomputePolicy> policy) {
+    recompute_policy_ = std::move(policy);
+  }
+  const te::RecomputePolicy* recompute_policy() const {
+    return recompute_policy_.get();
+  }
+
+  // One measurement epoch elapsed; should this controller re-run TE?
+  // Ticks the policy against the current converged demand view (and
+  // always answers yes when no policy is attached).
+  bool demand_epoch_due();
+
+  // Fleet-wide crash barrier: forget the policy's drift baseline, in
+  // lockstep with reset_incremental_te() (both protect the §3.1
+  // identical-solutions property across restarts).
+  void reset_recompute_policy() {
+    if (recompute_policy_) recompute_policy_->reset();
+  }
+
   const dataplane::RouterDataplane& dataplane() const { return hw_; }
   dataplane::RouterDataplane& mutable_dataplane() { return hw_; }
   Bus& bus() { return bus_; }
@@ -174,6 +199,7 @@ class Controller {
   LocalState local_;
   std::unique_ptr<SolveApi> solve_api_;
   std::unique_ptr<te::IncrementalSolver> incremental_;
+  std::unique_ptr<te::RecomputePolicy> recompute_policy_;
   Programmer programmer_;
   dataplane::RouterDataplane hw_;
   dataplane::SnapshotHub* fib_hub_ = nullptr;

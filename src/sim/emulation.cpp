@@ -38,6 +38,14 @@ std::unique_ptr<core::Controller> DsdnEmulation::make_controller(
   cc.incremental_te = config_.incremental_te;
   cc.te_diff_check = config_.te_diff_check;
   auto c = std::make_unique<core::Controller>(cc, topo_);
+  // A non-trivial recompute policy rides on measurement epochs; kEvery
+  // attaches nothing so the classic paths stay byte-identical. A
+  // controller replaced by crash recovery starts with a reset policy --
+  // the recovery barriers reset the survivors to match.
+  if (config_.recompute_policy.kind != te::RecomputeTrigger::kEvery) {
+    c->set_recompute_policy(
+        std::make_unique<te::RecomputePolicy>(config_.recompute_policy));
+  }
   // Replacement controllers (crash recovery) publish to the same hub the
   // crashed instance did, so forwarding cores keep working through the
   // restart on the last published epoch.
@@ -289,7 +297,13 @@ void DsdnEmulation::crash_and_recover(topo::NodeId node) {
   // solutions -- and disagreeing headends can jointly overcommit a link
   // (found by the scenario swarm: surge + cut + restart). Everyone
   // resets at the same barrier and re-solves the same view identically.
-  for (auto& c : controllers_) c->reset_incremental_te();
+  // Recompute policies reset at the same barrier: the replacement
+  // instance starts with no drift baseline, and survivors keeping theirs
+  // would defer while it recomputes -- divergent solutions.
+  for (auto& c : controllers_) {
+    c->reset_incremental_te();
+    c->reset_recompute_policy();
+  }
   recompute_dirty();
 }
 
@@ -314,22 +328,22 @@ void DsdnEmulation::crash_and_cold_restart(topo::NodeId node) {
   originate_and_flood(node);
   run_to_quiescence();
   // Same fleet-wide cold-solve rule as crash_and_recover (see there).
-  for (auto& c : controllers_) c->reset_incremental_te();
+  for (auto& c : controllers_) {
+    c->reset_incremental_te();
+    c->reset_recompute_policy();
+  }
   recompute_dirty();
 }
 
 void DsdnEmulation::scale_demands(double factor, topo::NodeId origin) {
   DSDN_TRACE_SPAN("emu.scale_demands");
-  tm_.scale_rate(origin, factor);
-  if (origin == topo::kInvalidNode) {
-    for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
-      originate_and_flood(n);
-    }
-  } else {
-    originate_and_flood(origin);
-  }
-  run_to_quiescence();
-  recompute_dirty();
+  // Route through update_demands' per-origin diff: a fleet-wide surge
+  // (origin == kInvalidNode) used to re-originate every router, flooding
+  // N full NSUs even from routers with no demand rows at all. Only
+  // origins whose aggregated advertisement changed flood now.
+  traffic::TrafficMatrix scaled = tm_;
+  scaled.scale_rate(origin, factor);
+  update_demands(std::move(scaled));
 }
 
 void DsdnEmulation::update_demands(traffic::TrafficMatrix tm) {
@@ -395,19 +409,64 @@ void DsdnEmulation::observe_traffic(const traffic::TrafficMatrix& offered) {
   }
 }
 
+void DsdnEmulation::set_oracle_demands(traffic::TrafficMatrix tm) {
+  if (estimators_.empty())
+    throw std::logic_error(
+        "set_oracle_demands: requires in-band measurement (otherwise "
+        "controllers would silently diverge from the oracle; use "
+        "update_demands)");
+  // tm_'s address is stable (SimTelemetry points at it); assign in place.
+  tm_ = std::move(tm);
+}
+
+bool DsdnEmulation::advert_changed(topo::NodeId n) const {
+  const core::NodeStateUpdate* last = controllers_[n]->state().latest(n);
+  if (!last) return true;
+  const auto now = estimators_[n].advertised();
+  const auto& prev = last->demands;
+  if (now.size() != prev.size()) return true;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    if (now[i].egress != prev[i].egress ||
+        now[i].priority != prev[i].priority) {
+      return true;
+    }
+    // Bias-corrected estimates of perfectly constant traffic wobble in
+    // the last ulps across epochs; an exact comparison would re-flood
+    // the whole fleet every epoch for nothing.
+    const double a = now[i].rate_gbps, b = prev[i].rate_gbps;
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    if (std::abs(a - b) > 1e-9 * scale) return true;
+  }
+  return false;
+}
+
 void DsdnEmulation::measurement_epoch() {
   if (estimators_.empty())
     throw std::logic_error("measurement_epoch: measurement not enabled");
   for (auto& est : estimators_) est.roll_epoch();
-  // Every router advertises its fresh estimates and the network
-  // reconverges on the new demand picture.
+  // Only routers whose advertisement materially moved re-originate (the
+  // same diff discipline as update_demands: NSU churn tracks demand
+  // change, not fleet size).
   for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (!advert_changed(n)) continue;
     const auto directive = controllers_[n]->originate(telemetry_for(n));
     dirty_[n] = 1;
     flood(directive, n);
   }
   run_to_quiescence();
-  recompute_dirty();
+  // Tick every controller's recompute policy on its converged view --
+  // every epoch, recompute or not, so staleness counts stay in fleet
+  // lockstep. A dirty controller whose policy defers keeps its dirty
+  // bit; the TE it is running is stale but fleet-consistent, and a later
+  // epoch (or any topology event, which recomputes unconditionally)
+  // picks it up.
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const bool due = controllers_[n]->demand_epoch_due();
+    if (dirty_[n] && due) {
+      controllers_[n]->recompute();
+      dirty_[n] = 0;
+    }
+  }
 }
 
 void DsdnEmulation::enable_fault_injection(

@@ -61,6 +61,14 @@ struct EmulationConfig {
   // (throws on an invariant violation). Debug/CI: one extra full solve
   // per recompute per controller.
   bool te_diff_check = false;
+  // Online-TE recompute policy for closed-loop demand epochs
+  // (measurement_epoch): controllers defer TE while their policy says
+  // the drift isn't worth a re-solve. kEvery (the default) attaches no
+  // policy and preserves the classic recompute-every-epoch behavior.
+  // Like incremental_te, safety rests on lockstep: every controller
+  // ticks its policy on the same converged views, and crash barriers
+  // reset the policies fleet-wide.
+  te::RecomputePolicyOptions recompute_policy;
 };
 
 class DsdnEmulation final : public dataplane::DataplaneProvider {
@@ -108,8 +116,10 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
 
   // Demand surge/shift: scales the oracle matrix rows originating at
   // `origin` (every row when origin == topo::kInvalidNode) by `factor`,
-  // re-advertises the affected origins, floods to quiescence, and
-  // recomputes. Only meaningful without in-band measurement.
+  // re-advertises the origins whose aggregated advertisement actually
+  // changed (an origin with no demand rows floods nothing), floods to
+  // quiescence, and recomputes. Only meaningful without in-band
+  // measurement.
   void scale_demands(double factor,
                      topo::NodeId origin = topo::kInvalidNode);
 
@@ -148,6 +158,13 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void observe_traffic(const traffic::TrafficMatrix& offered);
   void measurement_epoch();
   bool in_band_measurement() const { return !estimators_.empty(); }
+
+  // Replaces the oracle matrix withOUT flooding anything: with in-band
+  // measurement the controllers must only ever learn demand through
+  // their estimators, while invariant checkers and flow evaluation read
+  // the live truth from demands(). This is how closed-loop scenarios
+  // evolve the ground truth each epoch.
+  void set_oracle_demands(traffic::TrafficMatrix tm);
 
   // --- Fault injection on the flooding plane ---
   // Interposes a FaultyBus between flooders and links: per-link
@@ -220,6 +237,9 @@ class DsdnEmulation final : public dataplane::DataplaneProvider {
   void run_to_quiescence();
   void recompute_dirty();
   const core::TelemetrySource& telemetry_for(topo::NodeId node) const;
+  // Does n's current estimator advertisement differ from its last
+  // originated NSU demand section (beyond FP wobble)?
+  bool advert_changed(topo::NodeId n) const;
 
   topo::Topology topo_;  // ground truth
   traffic::TrafficMatrix tm_;

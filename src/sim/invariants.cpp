@@ -216,9 +216,23 @@ void check_cold_solve_parity(const DsdnEmulation& emu,
   te::DiffChecker::Options dc;
   dc.throughput_tolerance = options.throughput_tolerance;
   dc.capacity_slack_gbps = options.capacity_slack_gbps;
+  traffic::TrafficMatrix solved_tm;
+  if (options.parity_against_solved_demands) {
+    // Rebuild the matrix this solution actually solved (one allocation
+    // per input demand, same order): under a deferring recompute policy
+    // the live view can be ahead of the installed solution.
+    std::vector<traffic::Demand> rows;
+    rows.reserve(c.last_solution().allocations.size());
+    for (const te::Allocation& a : c.last_solution().allocations) {
+      rows.push_back(a.demand);
+    }
+    solved_tm = traffic::TrafficMatrix(std::move(rows));
+  }
   const te::DiffChecker::Report report = te::DiffChecker::check(
-      c.state().view(), c.state().demands(), c.last_solution(),
-      emu.config().solver_options, dc);
+      c.state().view(),
+      options.parity_against_solved_demands ? solved_tm
+                                            : c.state().demands(),
+      c.last_solution(), emu.config().solver_options, dc);
   for (const std::string& v : report.violations) {
     out.violations.push_back("cold-solve parity: " + v);
   }

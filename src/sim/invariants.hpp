@@ -45,6 +45,14 @@ struct InvariantOptions {
   // The parity check costs one full solve per call; scenario sweeps over
   // big topologies can disable it.
   bool check_solution_parity = true;
+  // Closed-loop mode: a recompute policy may legitimately leave the
+  // installed solution behind the current demand view (bounded staleness
+  // is the whole point). Diff the solution against a cold solve of the
+  // demands it actually solved (reconstructed from the solution itself --
+  // one allocation per input demand) instead of the live view. The
+  // topology still comes from the current view: churn events recompute
+  // unconditionally, so solutions are never stale against topology.
+  bool parity_against_solved_demands = false;
 };
 
 struct InvariantReport {

@@ -258,19 +258,8 @@ void Scenario::generate_schedule() {
   }
 }
 
-bool Scenario::apply_event(DsdnEmulation& emu, const ScenarioEvent& ev) const {
+bool apply_scenario_event(DsdnEmulation& emu, const ScenarioEvent& ev) {
   const topo::Topology& net = emu.network();
-  const bool fiber_down_event = ev.kind == ScenarioEventKind::kFiberCut ||
-                                ev.kind == ScenarioEventKind::kSrlgCut;
-  // kSkipReprogramOnCut: capture the victim's encap FIB before a
-  // fiber-down event and silently restore it afterwards -- the router
-  // "forgot" to reprogram, leaving stale routes over the dead fiber.
-  std::optional<dataplane::IngressFib> pre_bug_fib;
-  if (options_.bug == ScenarioBug::kSkipReprogramOnCut && fiber_down_event &&
-      options_.bug_node < net.num_nodes()) {
-    pre_bug_fib = emu.at(options_.bug_node).ingress;
-  }
-
   bool applied = false;
   switch (ev.kind) {
     case ScenarioEventKind::kFiberCut: {
@@ -339,6 +328,23 @@ bool Scenario::apply_event(DsdnEmulation& emu, const ScenarioEvent& ev) const {
       break;
     }
   }
+  return applied;
+}
+
+bool Scenario::apply_event(DsdnEmulation& emu, const ScenarioEvent& ev) const {
+  const topo::Topology& net = emu.network();
+  const bool fiber_down_event = ev.kind == ScenarioEventKind::kFiberCut ||
+                                ev.kind == ScenarioEventKind::kSrlgCut;
+  // kSkipReprogramOnCut: capture the victim's encap FIB before a
+  // fiber-down event and silently restore it afterwards -- the router
+  // "forgot" to reprogram, leaving stale routes over the dead fiber.
+  std::optional<dataplane::IngressFib> pre_bug_fib;
+  if (options_.bug == ScenarioBug::kSkipReprogramOnCut && fiber_down_event &&
+      options_.bug_node < net.num_nodes()) {
+    pre_bug_fib = emu.at(options_.bug_node).ingress;
+  }
+
+  const bool applied = apply_scenario_event(emu, ev);
 
   if (applied && pre_bug_fib) {
     emu.mutable_controller(options_.bug_node).mutable_dataplane().ingress =

@@ -160,6 +160,14 @@ class Scenario {
   std::vector<ScenarioEvent> schedule_;
 };
 
+// Applies one churn event to a live emulation with the same runtime
+// applicability guards Scenario::run uses (cuts that would partition are
+// skipped, repairs of up fibers are no-ops, ...). Returns true when the
+// event was applied. Exposed as a free function so closed-loop online-TE
+// runs (sim/online.hpp) can interleave churn events with measurement
+// epochs on an emulation they own, without a Scenario.
+bool apply_scenario_event(DsdnEmulation& emu, const ScenarioEvent& ev);
+
 // Runs seeds [first_seed, first_seed + n_seeds); on the first failing
 // seed, shrinks it and returns the reproducer. nullopt = all passed.
 struct SwarmFailure {

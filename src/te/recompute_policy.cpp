@@ -1,0 +1,71 @@
+#include "te/recompute_policy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace dsdn::te {
+
+RecomputePolicy::RecomputePolicy(RecomputePolicyOptions options)
+    : options_(options) {
+  if (options.period_epochs == 0)
+    throw std::invalid_argument("RecomputePolicy: period_epochs == 0");
+  if (options.drift_threshold < 0.0)
+    throw std::invalid_argument("RecomputePolicy: negative drift_threshold");
+}
+
+bool RecomputePolicy::on_epoch(const traffic::TrafficMatrix& view) {
+  ++epochs_since_;
+  if (!has_baseline_) return true;
+  // A baseline that allocated nothing must never defer a non-empty view:
+  // the bootstrap solve runs before the first measurement epoch, and a
+  // periodic policy seeded with that empty matrix would otherwise sit on
+  // an empty routing for a whole period.
+  if (solved_.total_rate_gbps() <= 0.0 && view.total_rate_gbps() > 0.0)
+    return true;
+  switch (options_.kind) {
+    case RecomputeTrigger::kEvery:
+      return true;
+    case RecomputeTrigger::kPeriodic:
+      return epochs_since_ >= options_.period_epochs;
+    case RecomputeTrigger::kThreshold:
+      return drift_fraction(solved_, view) >= options_.drift_threshold;
+    case RecomputeTrigger::kHybrid:
+      return epochs_since_ >= options_.period_epochs ||
+             drift_fraction(solved_, view) >= options_.drift_threshold;
+  }
+  return true;
+}
+
+void RecomputePolicy::note_recompute(const traffic::TrafficMatrix& solved_view) {
+  solved_ = solved_view;
+  has_baseline_ = true;
+  epochs_since_ = 0;
+}
+
+void RecomputePolicy::reset() {
+  solved_ = traffic::TrafficMatrix{};
+  has_baseline_ = false;
+  epochs_since_ = 0;
+}
+
+double RecomputePolicy::drift_fraction(const traffic::TrafficMatrix& solved,
+                                       const traffic::TrafficMatrix& now) {
+  using Key = std::tuple<topo::NodeId, topo::NodeId, int>;
+  std::map<Key, double> delta;
+  double solved_total = 0.0;
+  for (const auto& d : solved.demands()) {
+    delta[{d.src, d.dst, static_cast<int>(d.priority)}] -= d.rate_gbps;
+    solved_total += d.rate_gbps;
+  }
+  for (const auto& d : now.demands()) {
+    delta[{d.src, d.dst, static_cast<int>(d.priority)}] += d.rate_gbps;
+  }
+  double l1 = 0.0;
+  for (const auto& [key, dv] : delta) l1 += std::abs(dv);
+  if (solved_total <= 0.0) return l1 > 0.0 ? 1.0 : 0.0;
+  return l1 / solved_total;
+}
+
+}  // namespace dsdn::te

@@ -1,5 +1,6 @@
 #include "traffic/estimator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace dsdn::traffic {
@@ -19,23 +20,38 @@ void DemandEstimator::observe(topo::NodeId egress,
   epoch_accum_[{egress, static_cast<int>(priority)}] += rate_gbps;
 }
 
+double DemandEstimator::corrected(const Entry& e) const {
+  // Warm-up bias correction: a raw EWMA seeded at alpha * sample carries
+  // an implicit zero prior with weight (1-alpha)^age; dividing by the
+  // observed mass 1 - (1-alpha)^age removes it (exact for constant input).
+  const double mass = 1.0 - std::pow(1.0 - options_.alpha,
+                                     static_cast<double>(e.age));
+  return e.ewma / mass;
+}
+
 void DemandEstimator::roll_epoch() {
-  // Update every tracked key; unobserved keys decay toward zero.
+  // Update every tracked key; unobserved keys decay toward zero. The
+  // drop rule applies to the bias-corrected estimate so that warm-up
+  // undershoot cannot evict a flow the steady state would keep.
   for (auto it = ewma_.begin(); it != ewma_.end();) {
     const auto obs = epoch_accum_.find(it->first);
     const double sample = obs == epoch_accum_.end() ? 0.0 : obs->second;
-    it->second = (1.0 - options_.alpha) * it->second +
-                 options_.alpha * sample;
-    if (it->second < options_.floor_gbps) {
+    it->second.ewma = (1.0 - options_.alpha) * it->second.ewma +
+                      options_.alpha * sample;
+    ++it->second.age;
+    if (corrected(it->second) < options_.floor_gbps) {
       it = ewma_.erase(it);
     } else {
       ++it;
     }
   }
-  // Brand-new keys start at alpha * sample.
+  // Brand-new keys: admit on the *projected steady state* (the sample
+  // itself -- for a constant flow the EWMA converges to the full rate),
+  // not on the first EWMA step alpha * sample, which would permanently
+  // exclude any steady flow with alpha * rate < floor <= rate.
   for (const auto& [key, sample] : epoch_accum_) {
-    if (!ewma_.contains(key) && options_.alpha * sample >= options_.floor_gbps) {
-      ewma_[key] = options_.alpha * sample;
+    if (!ewma_.contains(key) && sample >= options_.floor_gbps) {
+      ewma_[key] = Entry{options_.alpha * sample, 1};
     }
   }
   epoch_accum_.clear();
@@ -44,9 +60,11 @@ void DemandEstimator::roll_epoch() {
 std::vector<core::DemandAdvert> DemandEstimator::advertised() const {
   std::vector<core::DemandAdvert> out;
   out.reserve(ewma_.size());
-  for (const auto& [key, rate] : ewma_) {
-    out.push_back(core::DemandAdvert{
-        key.first, static_cast<metrics::PriorityClass>(key.second), rate});
+  for (const auto& [key, entry] : ewma_) {
+    out.push_back(core::DemandAdvert{key.first,
+                                     static_cast<metrics::PriorityClass>(
+                                         key.second),
+                                     corrected(entry)});
   }
   return out;
 }
@@ -54,7 +72,7 @@ std::vector<core::DemandAdvert> DemandEstimator::advertised() const {
 double DemandEstimator::estimate(topo::NodeId egress,
                                  metrics::PriorityClass priority) const {
   const auto it = ewma_.find({egress, static_cast<int>(priority)});
-  return it == ewma_.end() ? 0.0 : it->second;
+  return it == ewma_.end() ? 0.0 : corrected(it->second);
 }
 
 EstimatingTelemetry::EstimatingTelemetry(

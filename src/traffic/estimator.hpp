@@ -11,6 +11,20 @@
 // bursts (TE should not chase noise). Entries that stop receiving
 // traffic decay toward zero and are eventually dropped, keeping the NSU
 // small.
+//
+// Two closed-loop correctness properties (the PR 9 estimator bugfixes):
+//
+//  - Admission uses the *projected steady state*, not the first EWMA
+//    step. A key's first raw EWMA value is alpha * sample, so gating
+//    admission on `alpha * sample >= floor` permanently excluded every
+//    steady flow with `alpha * rate < floor <= rate` even though its
+//    steady-state estimate is the full rate.
+//  - Estimates are bias-corrected during warm-up. A raw EWMA seeded at
+//    alpha * sample undershoots a constant rate r by (1-alpha)^n after n
+//    epochs (~1/alpha epochs of under-provisioning for every new flow in
+//    the closed loop); estimate()/advertised() divide the raw value by
+//    1 - (1-alpha)^n, which is exact for constant input from the very
+//    first epoch.
 
 #include <map>
 
@@ -44,10 +58,10 @@ class DemandEstimator {
   // Keys with no observation this epoch decay toward zero.
   void roll_epoch();
 
-  // Current smoothed estimates, ready for an NSU.
+  // Current smoothed estimates (bias-corrected), ready for an NSU.
   std::vector<core::DemandAdvert> advertised() const;
 
-  // Convenience: the estimate for one key (0 when absent).
+  // Convenience: the bias-corrected estimate for one key (0 when absent).
   double estimate(topo::NodeId egress, metrics::PriorityClass priority) const;
 
   std::size_t num_tracked() const { return ewma_.size(); }
@@ -55,9 +69,16 @@ class DemandEstimator {
  private:
   using Key = std::pair<topo::NodeId, int>;
 
+  struct Entry {
+    double ewma = 0.0;       // raw EWMA (uncorrected)
+    std::uint32_t age = 0;   // epochs since admission (>= 1 once tracked)
+  };
+
+  double corrected(const Entry& e) const;
+
   topo::NodeId self_;
   Options options_;
-  std::map<Key, double> ewma_;
+  std::map<Key, Entry> ewma_;
   std::map<Key, double> epoch_accum_;
 };
 

@@ -7,12 +7,19 @@
 //   scenario_swarm [--topo abilene|b4|b2small|all] [--seeds N]
 //                  [--start S] [--events N] [--lossy] [--bug]
 //                  [--no-parity] [--artifact-dir DIR] [--planes K]
+//                  [--closed-loop] [--epochs N]
 //
 // --planes K > 0 switches to the hierarchical plane swarm: the same
 // topologies, but each seed drives K sharded dSDN planes through
 // plane-local cuts, cross-plane SRLG conduit cuts, and plane
 // crash/rebalance/restore (hier/scenario.hpp) instead of the flat
 // single-plane schedule.
+//
+// --closed-loop switches to the online-TE swarm: each seed drives the
+// closed loop (estimated demand only, diurnal + flash-crowd dynamics,
+// hybrid recompute policy, --events link-churn events) for --epochs
+// measurement epochs with the invariant suite sampled along the way
+// (sim/online.hpp). A seed fails on any invariant violation.
 //
 // --bug plants the kSkipReprogramOnCut fault (a router that skips
 // down-link zeroing) to prove the swarm catches real bugs and shrinks
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "hier/scenario.hpp"
+#include "sim/online.hpp"
 #include "sim/scenario.hpp"
 #include "topo/synthetic.hpp"
 #include "topo/zoo.hpp"
@@ -95,7 +103,9 @@ int main(int argc, char** argv) {
   bool bug = false;
   bool parity = true;
   std::string artifact_dir;
-  std::size_t planes = 0;  // > 0: hierarchical plane swarm
+  std::size_t planes = 0;      // > 0: hierarchical plane swarm
+  bool closed_loop = false;    // online-TE closed loop instead of churn
+  std::uint64_t epochs = 64;   // measurement epochs per closed-loop seed
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +137,10 @@ int main(int argc, char** argv) {
       artifact_dir = next();
     } else if (arg == "--planes") {
       planes = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--closed-loop") {
+      closed_loop = true;
+    } else if (arg == "--epochs") {
+      epochs = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -137,9 +151,73 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--bug is a flat-scenario fault; drop --planes\n");
     return 2;
   }
+  if (closed_loop && (planes > 0 || bug)) {
+    std::fprintf(stderr, "--closed-loop composes with neither --planes "
+                         "nor --bug\n");
+    return 2;
+  }
 
   bool failed = false;
   for (const std::string& name : topos) {
+    if (closed_loop) {
+      const std::size_t churn = events ? events : 4;
+      SwarmConfig cfg = make_config(name, churn, lossy, false, parity);
+      sim::OnlineTeOptions options;
+      options.epochs = epochs;
+      options.dynamics.diurnal_amplitude = 0.25;
+      options.dynamics.diurnal_period_epochs = 96.0;
+      options.dynamics.flash_prob_per_epoch = 0.03;
+      options.estimator.alpha = 0.4;
+      options.estimator.floor_gbps = 0.005;  // workload-relative (see bench)
+      options.policy.kind = te::RecomputeTrigger::kHybrid;
+      options.policy.period_epochs = 16;
+      options.policy.drift_threshold = 0.10;
+      options.churn_events = churn;
+      options.check_every = 16;
+      options.invariants.check_solution_parity = parity;
+      std::printf("[%s] %zu nodes, %zu links, %zu demands; closed loop, "
+                  "%zu seeds x %llu epochs, %zu churn events\n",
+                  name.c_str(), cfg.topo.num_nodes(), cfg.topo.num_links(),
+                  cfg.tm.size(), n_seeds,
+                  static_cast<unsigned long long>(epochs), churn);
+      std::fflush(stdout);
+
+      double worst_regret = 0.0;
+      std::size_t recomputes = 0, checks = 0, applied = 0;
+      bool topo_failed = false;
+      for (std::uint64_t seed = start; seed < start + n_seeds; ++seed) {
+        const sim::OnlineTeResult r =
+            sim::run_online_te(cfg.topo, cfg.tm, options, seed);
+        worst_regret = std::max(worst_regret, r.regret_fraction);
+        recomputes += r.recomputes;
+        checks += r.invariant_checks;
+        applied += r.churn_applied;
+        if (!r.ok()) {
+          failed = topo_failed = true;
+          std::printf("[%s] FAIL at seed %llu (epoch horizon %llu)\n",
+                      name.c_str(), static_cast<unsigned long long>(seed),
+                      static_cast<unsigned long long>(r.epochs));
+          for (const auto& v : r.violations)
+            std::printf("  violation: %s\n", v.c_str());
+          std::printf("  replay: scenario_swarm --topo %s --closed-loop "
+                      "--seeds 1 --start %llu --epochs %llu --events %zu%s\n",
+                      name.c_str(), static_cast<unsigned long long>(seed),
+                      static_cast<unsigned long long>(epochs), churn,
+                      parity ? "" : " --no-parity");
+          break;
+        }
+      }
+      if (!topo_failed) {
+        std::printf("[%s] PASS: closed-loop seeds [%llu, %llu) clean "
+                    "(%zu invariant checks, %zu churn events, "
+                    "%zu recomputes, worst regret %.2f%%)\n",
+                    name.c_str(), static_cast<unsigned long long>(start),
+                    static_cast<unsigned long long>(start + n_seeds), checks,
+                    applied, recomputes, 100.0 * worst_regret);
+      }
+      if (topo_failed) break;
+      continue;
+    }
     if (planes > 0) {
       // Hierarchical plane swarm: plane-targeted events + the cross-plane
       // checker battery (conservation, HRW placement, blast radius).

@@ -327,5 +327,43 @@ TEST(Emulation, IncrementalTeConvergesUnderChurn) {
   }
 }
 
+TEST(Emulation, FleetWideSurgeFloodsOnlyDemandOrigins) {
+  // Regression (flood amplification): a fleet-wide surge used to
+  // re-originate every router, including routers with no demand rows at
+  // all. The per-origin diff must keep silent routers silent -- their
+  // own NSU sequence numbers do not move.
+  auto topo = topo::make_ring(5);
+  traffic::TrafficMatrix tm;
+  tm.add({0, 2, PriorityClass::kHigh, 5.0});
+  tm.add({1, 3, PriorityClass::kLow, 3.0});
+  DsdnEmulation emu(std::move(topo), std::move(tm));
+  emu.bootstrap();
+
+  std::vector<std::uint64_t> seq_before;
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    seq_before.push_back(emu.controller(n).state().seq_of(n));
+  }
+
+  emu.scale_demands(2.0);  // origin == kInvalidNode: everyone surges
+  EXPECT_TRUE(emu.views_converged());
+  for (topo::NodeId n = 0; n < emu.network().num_nodes(); ++n) {
+    const std::uint64_t seq = emu.controller(n).state().seq_of(n);
+    if (n <= 1) {
+      EXPECT_EQ(seq, seq_before[n] + 1) << "origin " << n;
+    } else {
+      EXPECT_EQ(seq, seq_before[n]) << "demand-less router " << n
+                                    << " re-originated";
+    }
+  }
+  // The doubled demand reached every view.
+  EXPECT_NEAR(emu.controller(4).state().demands().total_rate_gbps(), 16.0,
+              1e-9);
+
+  // A no-op surge floods nothing anywhere.
+  const std::size_t messages_before = emu.messages_delivered();
+  emu.scale_demands(1.0);
+  EXPECT_EQ(emu.messages_delivered(), messages_before);
+}
+
 }  // namespace
 }  // namespace dsdn::sim
