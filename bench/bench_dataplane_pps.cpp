@@ -242,8 +242,8 @@ int main(int argc, char** argv) {
   };
   const auto churn_window = [&](const char* what, topo::LinkId fiber,
                                 bool fail) {
-    const auto stale =
-        sim::InstalledRouting::from_dataplane(emu.demands(), emu);
+    const auto stale = sim::InstalledRouting::from_dataplane(
+        emu.demands(), emu, &emu.network());
     const PipelineTotals before = sum_stats(pipes);
     if (fail) emu.fail_fiber(fiber);
     else emu.repair_fiber(fiber);

@@ -5,7 +5,11 @@
 //   3. anything that decodes re-serializes and re-decodes to the same
 //      NSU (canonical round-trip), and survives validate_nsu;
 //   4. every truncated prefix of a decodable input either decodes or
-//      returns DecodeError -- never UB.
+//      returns DecodeError -- never UB;
+//   5. the coexistence TLV parsers (algorithm + segment stack) accept or
+//      reject every decoded NSU's TLVs without UB, and anything they
+//      accept is in range (algorithm enum value, stack depth 1-3, node
+//      ids below the probe bound).
 //
 // Built by -DDSDN_FUZZ=ON: with Clang this links libFuzzer
 // (-fsanitize=fuzzer); with GCC it links the deterministic standalone
@@ -19,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/upgrade.hpp"
 #include "core/wire.hpp"
 
 namespace {
@@ -53,6 +58,22 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   // Round-trip: the decoded NSU's canonical encoding decodes to itself.
   (void)dsdn::core::validate_nsu(*result.nsu);
+
+  // Coexistence TLVs: strict parsers over arbitrary decoded TLV bytes.
+  if (const auto algo = dsdn::core::parse_algorithm_tlv(*result.nsu)) {
+    const int v = static_cast<int>(*algo);
+    check(v >= 0 && v <= 2, "parsed algorithm TLV carries a known value");
+  }
+  for (const auto& tlv : result.nsu->tlvs) {
+    constexpr std::size_t kProbeNodes = 64;
+    if (const auto stack =
+            dsdn::core::parse_segment_stack_tlv(tlv, kProbeNodes)) {
+      check(!stack->empty() && stack->size() <= 3,
+            "accepted segment stack depth in [1,3]");
+      for (const auto node : *stack)
+        check(node < kProbeNodes, "accepted segment node id in range");
+    }
+  }
   const auto canonical = dsdn::core::serialize_nsu(*result.nsu);
   const auto again = dsdn::core::decode_nsu(canonical);
   check(static_cast<bool>(again), "canonical bytes must decode");

@@ -52,6 +52,26 @@ core::NodeStateUpdate full_nsu() {
   return nsu;
 }
 
+// An SR-fleet NSU: algorithm TLV value 2 plus a well-formed node-segment
+// stack TLV (the rollout-audit encoding the decoders must accept).
+core::NodeStateUpdate sr_nsu() {
+  core::NodeStateUpdate nsu;
+  nsu.origin = 4;
+  nsu.seq = 77;
+  nsu.links.push_back({4, 6, true, 200.0, 1.0, 0.003, 1});
+  nsu.tlvs.push_back(
+      core::make_algorithm_tlv(core::PathingAlgorithm::kSegmentRouting));
+  nsu.tlvs.push_back(core::make_segment_stack_tlv({3, 9, 6}));
+  return nsu;
+}
+
+// Hand-built segment-stack TLV payload (bypassing the checked encoder)
+// so malformed stacks reach the parser through the full wire decode.
+core::OpaqueTlv raw_segment_stack(std::initializer_list<std::uint8_t> bytes) {
+  return {core::kSegmentStackTlvType,
+          std::string(bytes.begin(), bytes.end())};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +148,45 @@ int main(int argc, char** argv) {
     bytes[20] = 0xFF;
     bytes[21] = 0xFF;
     write(dir, "bad_section_length.bin", bytes);
+  }
+
+  // SR coexistence seeds: the good encoding, then the malformations the
+  // strict parser must reject (truncated stack, depth past 3, depth 0,
+  // out-of-range middlepoint id, trailing junk).
+  write(dir, "sr_full.bin", core::serialize_nsu(sr_nsu()));
+  {
+    core::NodeStateUpdate nsu = sr_nsu();
+    nsu.tlvs.back() = raw_segment_stack({3, 0x03, 0x00, 0x09, 0x00});
+    write(dir, "sr_stack_truncated.bin", core::serialize_nsu(nsu));
+  }
+  {
+    core::NodeStateUpdate nsu = sr_nsu();
+    nsu.tlvs.back() = raw_segment_stack(
+        {4, 1, 0, 2, 0, 3, 0, 4, 0});
+    write(dir, "sr_stack_too_deep.bin", core::serialize_nsu(nsu));
+  }
+  {
+    core::NodeStateUpdate nsu = sr_nsu();
+    nsu.tlvs.back() = raw_segment_stack({0});
+    write(dir, "sr_stack_empty.bin", core::serialize_nsu(nsu));
+  }
+  {
+    core::NodeStateUpdate nsu = sr_nsu();
+    // Node id 0xFFFF: out of range for any swarm topology.
+    nsu.tlvs.back() = raw_segment_stack({1, 0xFF, 0xFF});
+    write(dir, "sr_stack_bad_node.bin", core::serialize_nsu(nsu));
+  }
+  {
+    core::NodeStateUpdate nsu = sr_nsu();
+    nsu.tlvs.back() = raw_segment_stack({1, 0x03, 0x00, 0xAA});
+    write(dir, "sr_stack_trailing.bin", core::serialize_nsu(nsu));
+  }
+  {
+    // Algorithm TLV with an unknown future value (3): parse must yield
+    // nullopt, not UB -- the fallback path of mixed fleets.
+    core::NodeStateUpdate nsu = sr_nsu();
+    nsu.tlvs.front() = {core::kAlgorithmTlvType, std::string(1, '\x03')};
+    write(dir, "sr_algorithm_future.bin", core::serialize_nsu(nsu));
   }
 
   write(dir, "empty.bin", {});

@@ -39,6 +39,11 @@ DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
 # the hybrid policy misses the <= 10% regret / <= 25% recompute gate.
 DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
   ./build/bench/bench_online_te >/dev/null
+# SR-vs-strict trade: exits nonzero when segment stacks exceed 3 labels,
+# SR route/FIB state is not below strict MPLS, or the SrSolver placement
+# gap exceeds 10% on the fig 8/15 workloads.
+DSDN_BENCH_JSON="${ARTIFACT_DIR}" \
+  ./build/bench/bench_sr_trade >/dev/null
 python3 scripts/validate_bench_json.py "${ARTIFACT_DIR}"/BENCH_*.json
 
 echo "==> tier-1: perf regression (warn-only) -- fig13 cold medians vs baseline"
@@ -59,6 +64,12 @@ python3 scripts/validate_bench_json.py \
   "${ARTIFACT_DIR}"/BENCH_online_te.json \
   --baseline scripts/bench_baselines/BENCH_online_te.json \
   --regress abilene_hybrid_regret_fraction,abilene_hybrid_bad_seconds
+
+echo "==> tier-1: perf regression (warn-only) -- SR trade vs baseline"
+python3 scripts/validate_bench_json.py \
+  "${ARTIFACT_DIR}"/BENCH_sr_trade.json \
+  --baseline scripts/bench_baselines/BENCH_sr_trade.json \
+  --regress worst_gap_fraction,worst_fib_entries_ratio
 
 echo "==> tier-1: TSan build (build-tsan/) -- concurrency suites + batched dataplane"
 cmake -B build-tsan -S . -DDSDN_SANITIZE=thread >/dev/null
@@ -94,6 +105,13 @@ cmake --build build -j "${JOBS}" --target scenario_swarm
 ./build/tests/scenario_swarm --topo abilene --seeds 28 --lossy
 ./build/tests/scenario_swarm --topo b4 --seeds 2
 ./build/tests/scenario_swarm --topo b2small --seeds 2
+
+echo "==> tier-1: mixed SR/strict fleet swarm (build/) -- 25 seeds, invariants each event"
+# Deterministic mixed fleet (SR majority + strict TE + shortest-path
+# members): every event re-checks loop-freedom, delivery, conservation,
+# and per-view placement agreement with segment stacks in play.
+./build/tests/scenario_swarm --topo abilene --seeds 23 --sr
+./build/tests/scenario_swarm --topo b4 --seeds 2 --sr
 
 echo "==> tier-1: hierarchical plane swarm (build/) -- cuts, SRLGs, crash/rebalance"
 # Full checker battery (solution parity on): per-plane invariants plus

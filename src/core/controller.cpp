@@ -16,12 +16,28 @@ Controller::Controller(const ControllerConfig& config,
       programmer_(config.self) {
   if (config.self >= configured.num_nodes())
     throw std::invalid_argument("Controller: bad self id");
-  if (config.incremental_te) set_incremental_te(true);
+  if (config.mixed_fleet) {
+    // Peers' algorithms come from their latest NSU TLV (absent = stock
+    // solver, the pre-TLV assumption); our own from config, so the
+    // prediction works even before our first origination circulates.
+    solve_api_ = std::make_unique<MixedAlgorithmSolver>(
+        config.solver_options, [this](topo::NodeId n) {
+          if (n == config_.self) return config_.algorithm;
+          if (const NodeStateUpdate* nsu = state_.latest(n)) {
+            if (const auto a = parse_algorithm_tlv(*nsu)) return *a;
+          }
+          return PathingAlgorithm::kMaxMinFairTe;
+        });
+    config_.incremental_te = false;  // warm cache only speaks te::Solver
+  } else if (config.incremental_te) {
+    set_incremental_te(true);
+  }
   programmer_.program_static_transit(configured, hw_);
   transit_programmed_ = true;
 }
 
 void Controller::set_incremental_te(bool enabled) {
+  if (enabled && config_.mixed_fleet) return;  // incompatible; stay off
   config_.incremental_te = enabled;
   if (!enabled) {
     incremental_.reset();
@@ -64,6 +80,9 @@ std::vector<topo::LinkId> Controller::flood_links(
 FloodDirective Controller::originate(const TelemetrySource& telemetry) {
   FloodDirective d;
   d.nsu = local_.snapshot(telemetry);
+  if (config_.advertise_algorithm) {
+    d.nsu.tlvs.push_back(make_algorithm_tlv(config_.algorithm));
+  }
   if (!state_.apply(d.nsu))
     throw std::logic_error("own NSU rejected by own StateDb");
   bus_.publish_as(topics::kStateChanged, state_.digest());
@@ -120,9 +139,13 @@ Controller::RecomputeResult Controller::recompute() {
   ++recomputes_;
   encap_totals_.routes_installed += result.encap.routes_installed;
   encap_totals_.routes_too_deep += result.encap.routes_too_deep;
+  encap_totals_.sr_routes_installed += result.encap.sr_routes_installed;
   encap_totals_.install_retries += result.encap.install_retries;
   encap_totals_.routes_gave_up += result.encap.routes_gave_up;
   encap_totals_.retry_time_s += result.encap.retry_time_s;
+  if (config_.program_sr) {
+    result.sr = programmer_.program_sr(state_.view(), hw_);
+  }
   if (config_.program_bypasses) {
     result.bypasses = programmer_.program_bypasses(
         state_.view(), pr.solution.residual_capacity(state_.view()),

@@ -17,6 +17,7 @@
 #include "core/pathing.hpp"
 #include "core/programmer.hpp"
 #include "core/state_db.hpp"
+#include "core/upgrade.hpp"
 #include "te/incremental.hpp"
 #include "te/recompute_policy.hpp"
 
@@ -48,6 +49,20 @@ struct ControllerConfig {
   // Differential checker (debug/CI): verify every incremental solve
   // against a fresh full solve; violations throw std::logic_error.
   bool te_diff_check = false;
+  // Algorithm coexistence (§3.2, upgrades). `algorithm` is what this
+  // controller runs; with advertise_algorithm it is announced in the NSU
+  // algorithm TLV so peers can predict this router's placement.
+  PathingAlgorithm algorithm = PathingAlgorithm::kMaxMinFairTe;
+  bool advertise_algorithm = false;
+  // Solve with MixedAlgorithmSolver: predict each headend's placement
+  // from its advertised algorithm (self uses `algorithm` directly).
+  // Forces incremental_te off -- the warm-start cache only speaks the
+  // stock solver.
+  bool mixed_fleet = false;
+  // Install the node-segment FIB (SrFib) on every recompute. Required on
+  // EVERY router as soon as any fleet member runs kSegmentRouting, since
+  // all routers transit segment-labeled packets.
+  bool program_sr = false;
 };
 
 // An NSU to transmit and the local out-links to flood it on.
@@ -83,6 +98,7 @@ class Controller {
     te::IncrementalStats incremental;
     Programmer::EncapReport encap;
     Programmer::BypassReport bypasses;
+    Programmer::SrReport sr;
     std::size_t own_allocations = 0;
   };
 

@@ -1,8 +1,10 @@
 #include "core/programmer.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "dataplane/label.hpp"
+#include "te/segment_routing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -62,7 +64,15 @@ Programmer::EncapReport Programmer::program_encap(
   };
   for (const te::Allocation& a : own) {
     dataplane::EncapEntry entry;
+    // An SR allocation carries one WeightedPath per ECMP *expansion*, many
+    // sharing one segment stack; the hardware holds one route per stack,
+    // so fold the expansion weights per distinct segment list first.
+    std::map<std::vector<topo::NodeId>, double> sr_weights;
     for (const te::WeightedPath& wp : a.paths) {
+      if (!wp.segments.empty()) {
+        sr_weights[wp.segments] += wp.weight;
+        continue;
+      }
       if (wp.path.hops() > dataplane::kMaxLabelDepth) {
         ++report.routes_too_deep;
         continue;
@@ -77,6 +87,18 @@ Programmer::EncapReport Programmer::program_encap(
       entry.routes.push_back(std::move(route));
       ++report.routes_installed;
     }
+    for (const auto& [segments, weight] : sr_weights) {
+      if (!install_succeeds(op_index++)) {
+        ++report.routes_gave_up;
+        continue;
+      }
+      dataplane::WeightedRoute route;
+      route.stack = dataplane::encode_segment_route(segments);
+      route.weight = weight;
+      entry.routes.push_back(std::move(route));
+      ++report.routes_installed;
+      ++report.sr_routes_installed;
+    }
     if (!entry.routes.empty()) {
       hw.ingress.set_routes(a.demand.dst, a.demand.priority, std::move(entry));
     }
@@ -86,6 +108,31 @@ Programmer::EncapReport Programmer::program_encap(
   m_retries.add(report.install_retries);
   m_gave_up.add(report.routes_gave_up);
   if (report.retry_time_s > 0.0) m_retry_time.record(report.retry_time_s);
+  return report;
+}
+
+Programmer::SrReport Programmer::program_sr(
+    const topo::Topology& view, dataplane::RouterDataplane& hw) const {
+  SrReport report;
+  hw.sr.clear();
+  // Same underlay math the SR solver expands against: membership from
+  // one build over the converged view keeps transit splits and headend
+  // capacity accounting consistent.
+  const te::SrUnderlay underlay = te::SrUnderlay::build(view);
+  for (topo::NodeId t = 0; t < view.num_nodes(); ++t) {
+    if (t == self_) continue;
+    const std::vector<topo::LinkId> members =
+        underlay.ecmp_members(view, self_, t);
+    if (members.empty()) continue;
+    std::vector<dataplane::SrNextHop> hops;
+    hops.reserve(members.size());
+    for (topo::LinkId lid : members) {
+      hops.push_back({lid, view.link(lid).dst});
+    }
+    report.next_hops += hops.size();
+    hw.sr.set_members(t, std::move(hops));
+    ++report.targets;
+  }
   return report;
 }
 

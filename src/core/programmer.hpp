@@ -57,6 +57,9 @@ class Programmer {
   struct EncapReport {
     std::size_t routes_installed = 0;
     std::size_t routes_too_deep = 0;
+    // Of routes_installed, how many were segment stacks (1-3 node
+    // segments) rather than strict per-link stacks.
+    std::size_t sr_routes_installed = 0;
     // Retry accounting (meaningful when a gate is supplied).
     std::size_t install_retries = 0;
     std::size_t routes_gave_up = 0;
@@ -77,6 +80,18 @@ class Programmer {
                             const ProgramRetryPolicy& policy,
                             const InstallGate& gate,
                             util::Rng* rng = nullptr) const;
+
+  // Installs this router's node-segment FIB (SrFib): for every reachable
+  // target, the ECMP shortest-path members toward it over the view's up
+  // links. Purely local, derived from the same converged view the SR
+  // solver expanded against, so transit behavior matches the headend's
+  // capacity accounting once views agree.
+  struct SrReport {
+    std::size_t targets = 0;
+    std::size_t next_hops = 0;
+  };
+  SrReport program_sr(const topo::Topology& view,
+                      dataplane::RouterDataplane& hw) const;
 
   // Pre-installs FRR bypasses for this router's local links (Appendix C).
   // dSDN's on-box view lets the selection be capacity-aware: `residual`

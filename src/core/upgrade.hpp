@@ -19,12 +19,14 @@
 #include <optional>
 
 #include "core/pathing.hpp"
+#include "te/segment_routing.hpp"
 
 namespace dsdn::core {
 
 enum class PathingAlgorithm {
   kMaxMinFairTe = 0,   // the stock solver
   kShortestPath = 1,   // capacity-oblivious IGP shortest path (legacy)
+  kSegmentRouting = 2, // node-segment stacks over underlay ECMP (te::SrSolver)
 };
 
 const char* pathing_algorithm_name(PathingAlgorithm a);
@@ -33,6 +35,19 @@ const char* pathing_algorithm_name(PathingAlgorithm a);
 inline constexpr std::uint32_t kAlgorithmTlvType = 0xA190;
 
 OpaqueTlv make_algorithm_tlv(PathingAlgorithm a);
+
+// TLV carrying a node-segment stack (diagnostics / rollout audit): one
+// count byte then count little-endian uint16 node ids, count in [1,3].
+inline constexpr std::uint32_t kSegmentStackTlvType = 0xA191;
+inline constexpr std::size_t kMaxSegmentStackDepth = 3;
+
+OpaqueTlv make_segment_stack_tlv(const std::vector<topo::NodeId>& segments);
+
+// Strict decode of a segment-stack TLV: wrong type, bad count, short or
+// oversized payload, or a node id >= num_nodes all yield nullopt (the
+// wire-fuzz target feeds this arbitrary bytes).
+std::optional<std::vector<topo::NodeId>> parse_segment_stack_tlv(
+    const OpaqueTlv& tlv, std::size_t num_nodes);
 
 // Reads the algorithm TLV from an NSU; nullopt when absent/garbled.
 // Absent means "pre-TLV controller", which the rollout plan treats as
@@ -45,19 +60,25 @@ std::vector<PathingAlgorithm> algorithm_map_from_state(
     const StateDb& state,
     PathingAlgorithm fallback = PathingAlgorithm::kMaxMinFairTe);
 
-// SolveApi that accounts for what algorithm each headend runs:
+// SolveApi that accounts for what algorithm each headend runs, in a
+// globally agreed precedence order so every router predicts the same
+// placement regardless of which algorithm it runs itself:
 //   1. demands originated by kShortestPath routers are placed on their
 //      IGP shortest paths (capacity-oblivious, full rate), draining
 //      residual capacity;
-//   2. the stock solver places the remaining demands on what is left.
+//   2. demands originated by kSegmentRouting routers are placed by the
+//      SR waterfill on what remains;
+//   3. the stock solver places the remaining demands on what is left.
 // The output covers all demands in input order, so Pathing/Programmer
 // work unchanged.
 class MixedAlgorithmSolver final : public SolveApi {
  public:
   using AlgorithmOf = std::function<PathingAlgorithm(topo::NodeId)>;
 
-  MixedAlgorithmSolver(te::SolverOptions options, AlgorithmOf algorithm_of)
-      : solver_(options), algorithm_of_(std::move(algorithm_of)) {}
+  MixedAlgorithmSolver(te::SolverOptions options, AlgorithmOf algorithm_of,
+                       te::SrOptions sr_options = {})
+      : solver_(options), sr_solver_(options, sr_options),
+        algorithm_of_(std::move(algorithm_of)) {}
 
   te::Solution solve(const topo::Topology& view,
                      const traffic::TrafficMatrix& demands,
@@ -65,6 +86,7 @@ class MixedAlgorithmSolver final : public SolveApi {
 
  private:
   te::Solver solver_;
+  te::SrSolver sr_solver_;
   AlgorithmOf algorithm_of_;
 };
 

@@ -1,5 +1,6 @@
 #include "dataplane/fib.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -98,6 +99,41 @@ TransitFib build_transit_fib(const topo::Topology& topo, topo::NodeId node) {
     fib.set_entry(link_label(lid), lid);
   }
   return fib;
+}
+
+void SrFib::set_members(topo::NodeId target, std::vector<SrNextHop> members) {
+  if (members.empty()) {
+    entries_.erase(target);
+    return;
+  }
+  std::sort(members.begin(), members.end(),
+            [](const SrNextHop& a, const SrNextHop& b) {
+              return a.link < b.link;
+            });
+  entries_[target] = std::move(members);
+}
+
+void SrFib::clear() { entries_.clear(); }
+
+const std::vector<SrNextHop>* SrFib::members(topo::NodeId target) const {
+  const auto it = entries_.find(target);
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::size_t SrFib::num_next_hops() const {
+  std::size_t n = 0;
+  for (const auto& [target, members] : entries_) n += members.size();
+  return n;
+}
+
+std::size_t sr_ecmp_pick(std::uint64_t entropy, topo::NodeId at,
+                         std::size_t n_up) {
+  if (n_up <= 1) return 0;
+  const std::uint64_t h = util::splitmix64(
+      entropy ^ (static_cast<std::uint64_t>(at) * 0x9E3779B97F4A7C15ULL) ^
+      0x5E6D17A6ULL);
+  return static_cast<std::size_t>(h % n_up);
 }
 
 void BypassFib::set_bypasses(topo::LinkId link,

@@ -93,6 +93,51 @@ class TransitFib {
 // one entry per local outgoing link ID, as advertised in its NSUs.
 TransitFib build_transit_fib(const topo::Topology& topo, topo::NodeId node);
 
+// One ECMP next hop of a segment entry. Carrying the far-end node makes
+// the entry self-contained: checkers and flow evaluation can replay a
+// segment walk from dataplane state alone, without the topology.
+struct SrNextHop {
+  topo::LinkId link = topo::kInvalidLink;
+  topo::NodeId next = topo::kInvalidNode;
+
+  bool operator==(const SrNextHop&) const = default;
+};
+
+// Segment-routing FIB: node-segment target -> the router's ECMP next
+// hops on IGP shortest paths toward it (the IS-IS underlay, §3.2). The
+// controller reprograms it from its converged view on every recompute;
+// at forward time the dataplane re-picks among the members that are
+// still *up*, which is segment routing's local repair -- no FRR splice.
+class SrFib {
+ public:
+  // Replaces the member set for `target` (members sorted by link id for
+  // deterministic ECMP picks). An empty vector removes the entry.
+  void set_members(topo::NodeId target, std::vector<SrNextHop> members);
+  void clear();
+
+  // Null when no entry is programmed for `target`.
+  const std::vector<SrNextHop>* members(topo::NodeId target) const;
+
+  std::size_t num_targets() const { return entries_.size(); }
+  std::size_t num_next_hops() const;
+
+  // Deterministic iteration for invariant checkers.
+  const std::map<topo::NodeId, std::vector<SrNextHop>>& table() const {
+    return entries_;
+  }
+
+ private:
+  std::map<topo::NodeId, std::vector<SrNextHop>> entries_;
+};
+
+// Deterministic ECMP pick for segment forwarding: index into the up
+// subset of a segment entry's members, hashed from (flow entropy,
+// current node) so a flow re-picks independently at every hop but
+// identically across the scalar forwarder, the batched pipeline, and
+// its slow path (the parity contract).
+std::size_t sr_ecmp_pick(std::uint64_t entropy, topo::NodeId at,
+                         std::size_t n_up);
+
 // Pre-installed FRR bypasses for this router's local links (§3.2 fault
 // tolerance, Appendix C): when an outgoing link dies, the invalid label
 // is popped and one of these source routes is prepended, carrying the

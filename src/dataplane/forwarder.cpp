@@ -82,6 +82,59 @@ ForwardResult Forwarder::forward(Packet packet, topo::NodeId ingress_node,
     }
 
     const Label outer = packet.stack.top();
+    if (is_node_segment_label(outer)) {
+      const topo::NodeId target = segment_node(outer);
+      if (target == at) {
+        // Segment complete: pop and re-examine (consumes a ttl tick, like
+        // an FRR splice in the strict walk).
+        packet.stack.pop();
+        continue;
+      }
+      const std::vector<SrNextHop>* members =
+          provider_->at(at).sr.members(target);
+      if (!members) {
+        r.outcome = ForwardOutcome::kDroppedUnknownLabel;
+        r.final_node = at;
+        return r;
+      }
+      // Segment routing's local repair is the ECMP re-pick itself: choose
+      // among the members whose links are still up. All dead -> drop (no
+      // FRR splice for node segments; the next recompute reprograms).
+      std::size_t n_up = 0;
+      for (const SrNextHop& m : *members) {
+        if (topo_.link(m.link).up) ++n_up;
+      }
+      if (n_up == 0) {
+        down_link_drops().inc();
+        r.outcome = ForwardOutcome::kDroppedLinkDownNoBypass;
+        r.final_node = at;
+        return r;
+      }
+      std::size_t pick = sr_ecmp_pick(packet.entropy, at, n_up);
+      const SrNextHop* chosen = nullptr;
+      for (const SrNextHop& m : *members) {
+        if (!topo_.link(m.link).up) continue;
+        if (pick-- == 0) {
+          chosen = &m;
+          break;
+        }
+      }
+      // Forward toward the segment target WITHOUT popping: the label is
+      // consumed only at the target itself.
+      const topo::Link& link = topo_.link(chosen->link);
+      at = link.dst;
+      r.latency_s += link.delay_s;
+      ++r.hops;
+      r.trace.push_back(at);
+      if (r.hops > max_hops) {
+        // Transiently divergent segment FIBs can micro-loop; the hop
+        // bound converts that into an explicit loop drop.
+        r.outcome = ForwardOutcome::kDroppedLoop;
+        r.final_node = at;
+        return r;
+      }
+      continue;
+    }
     const auto out_link = provider_->at(at).transit.lookup(outer);
     if (!out_link) {
       r.outcome = ForwardOutcome::kDroppedUnknownLabel;

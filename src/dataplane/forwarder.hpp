@@ -16,6 +16,7 @@ struct RouterDataplane {
   IngressFib ingress;
   TransitFib transit;
   BypassFib bypass;
+  SrFib sr;  // node-segment entries (empty unless the fleet runs SR)
 };
 
 // Where the forwarder reads each router's tables from. Implemented over a

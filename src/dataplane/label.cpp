@@ -7,15 +7,39 @@ namespace dsdn::dataplane {
 
 Label link_label(topo::LinkId link) {
   const Label l = link + kReservedLabels;
-  if (l > kMaxLabelValue)
-    throw std::overflow_error("link id exceeds MPLS label space");
+  if (l >= kNodeSegmentBase)
+    throw std::overflow_error("link id overlaps node-segment label space");
   return l;
 }
 
 topo::LinkId label_link(Label label) {
   if (label < kReservedLabels)
     throw std::invalid_argument("reserved MPLS label");
+  if (is_node_segment_label(label))
+    throw std::invalid_argument("node-segment label is not a link label");
   return label - kReservedLabels;
+}
+
+Label node_segment_label(topo::NodeId node) {
+  const Label l = kNodeSegmentBase + node;
+  if (l > kMaxLabelValue)
+    throw std::overflow_error("node id exceeds segment label space");
+  return l;
+}
+
+topo::NodeId segment_node(Label label) {
+  if (!is_node_segment_label(label))
+    throw std::invalid_argument("not a node-segment label");
+  return label - kNodeSegmentBase;
+}
+
+LabelStack encode_segment_route(const std::vector<topo::NodeId>& segments) {
+  if (segments.size() > kMaxLabelDepth)
+    throw std::length_error("segment list exceeds MPLS label depth");
+  std::vector<Label> labels;
+  labels.reserve(segments.size());
+  for (topo::NodeId n : segments) labels.push_back(node_segment_label(n));
+  return LabelStack(std::move(labels));
 }
 
 Label LabelStack::top() const {

@@ -29,6 +29,20 @@ inline constexpr std::size_t kMaxLabelDepth = 12;
 Label link_label(topo::LinkId link);
 topo::LinkId label_link(Label label);
 
+// Node-segment labels (segment routing, §3.2 coexistence): the top half
+// of the 20-bit label space carries *node* SIDs -- "reach this router via
+// ECMP shortest paths" -- disjoint from the adjacency-style link labels
+// (link id + 16) for any WAN-sized topology. A segment-routed stack is
+// 1-3 node segments, outermost first; each is consumed when the packet
+// reaches the named router.
+inline constexpr Label kNodeSegmentBase = 1u << 19;
+
+inline constexpr bool is_node_segment_label(Label label) {
+  return label >= kNodeSegmentBase && label <= kMaxLabelValue;
+}
+Label node_segment_label(topo::NodeId node);
+topo::NodeId segment_node(Label label);
+
 class LabelStack {
  public:
   LabelStack() = default;
@@ -54,6 +68,10 @@ class LabelStack {
   // Stored top-first: labels_[0] is the outermost label.
   std::vector<Label> labels_;
 };
+
+// Compiles a segment list (middlepoints then egress, in traversal order)
+// into a node-SID stack. Throws std::length_error past kMaxLabelDepth.
+LabelStack encode_segment_route(const std::vector<topo::NodeId>& segments);
 
 // Compiles a TE path into a per-link label stack (top = first hop's link).
 // Throws std::length_error when the path exceeds kMaxLabelDepth and

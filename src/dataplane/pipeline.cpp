@@ -148,6 +148,53 @@ std::size_t BatchPipeline::stage_round(BatchPacket* pkts, std::size_t live,
     }
 
     const Label outer = p.labels[p.depth - 1];
+    if (is_node_segment_label(outer)) {
+      const topo::NodeId target = segment_node(outer);
+      if (target == p.at) {
+        --p.depth;  // segment complete: pop, consuming this ttl tick
+        if (&p != &pkts[keep]) pkts[keep] = p;
+        ++keep;
+        continue;
+      }
+      const std::vector<SrNextHop>* members =
+          snap.at(p.at).sr.members(target);
+      if (!members) {
+        finish(p, ForwardOutcome::kDroppedUnknownLabel, out);
+        continue;
+      }
+      // ECMP re-pick among up members (snapshot liveness) IS the local
+      // repair for segment routing; no FRR splice.
+      std::size_t n_up = 0;
+      for (const SrNextHop& m : *members) {
+        if (snap.up(m.link)) ++n_up;
+      }
+      if (n_up == 0) {
+        down_link_drops().inc();
+        finish(p, ForwardOutcome::kDroppedLinkDownNoBypass, out);
+        continue;
+      }
+      std::size_t pick = sr_ecmp_pick(p.entropy, p.at, n_up);
+      const SrNextHop* chosen = nullptr;
+      for (const SrNextHop& m : *members) {
+        if (!snap.up(m.link)) continue;
+        if (pick-- == 0) {
+          chosen = &m;
+          break;
+        }
+      }
+      const topo::Link& link = topo_.link(chosen->link);
+      p.at = link.dst;  // keep the label: consumed only at the target
+      p.latency_s += link.delay_s;
+      ++p.hops;
+      if (opts_.record_traces) traces_[trace_base + p.index].push_back(p.at);
+      if (p.hops > max_hops_) {
+        finish(p, ForwardOutcome::kDroppedLoop, out);
+        continue;
+      }
+      if (&p != &pkts[keep]) pkts[keep] = p;
+      ++keep;
+      continue;
+    }
     const auto out_link = snap.at(p.at).transit.lookup(outer);
     if (!out_link) {
       finish(p, ForwardOutcome::kDroppedUnknownLabel, out);
@@ -274,6 +321,41 @@ void BatchPipeline::slow_path(const BatchPacket& p, PacketVerdict* out,
                              : ForwardOutcome::kDroppedNotLocal);
     }
     const Label outer = stack.back();
+    if (is_node_segment_label(outer)) {
+      const topo::NodeId target = segment_node(outer);
+      if (target == at) {
+        stack.pop_back();  // segment complete (ttl tick consumed)
+        continue;
+      }
+      const std::vector<SrNextHop>* members = snap.at(at).sr.members(target);
+      if (!members)
+        return finish_slow(ForwardOutcome::kDroppedUnknownLabel);
+      std::size_t n_up = 0;
+      for (const SrNextHop& m : *members) {
+        if (snap.up(m.link)) ++n_up;
+      }
+      if (n_up == 0) {
+        down_link_drops().inc();
+        return finish_slow(ForwardOutcome::kDroppedLinkDownNoBypass);
+      }
+      std::size_t pick = sr_ecmp_pick(p.entropy, at, n_up);
+      const SrNextHop* chosen = nullptr;
+      for (const SrNextHop& m : *members) {
+        if (!snap.up(m.link)) continue;
+        if (pick-- == 0) {
+          chosen = &m;
+          break;
+        }
+      }
+      const topo::Link& link = topo_.link(chosen->link);
+      at = link.dst;
+      v.latency_s += link.delay_s;
+      ++v.hops;
+      if (trace) trace->push_back(at);
+      if (v.hops > max_hops_)
+        return finish_slow(ForwardOutcome::kDroppedLoop);
+      continue;
+    }
     const auto out_link = snap.at(at).transit.lookup(outer);
     if (!out_link) return finish_slow(ForwardOutcome::kDroppedUnknownLabel);
     const topo::Link& link = topo_.link(*out_link);
@@ -307,6 +389,126 @@ void BatchPipeline::slow_path(const BatchPacket& p, PacketVerdict* out,
   }
 }
 
+// Flat working record for one in-flight sublabel packet (Appendix A
+// walk). Labels bottom-first, like BatchPacket; a Table-1 pop is a
+// depth decrement.
+struct BatchPipeline::SubPacket {
+  topo::NodeId at;
+  std::uint32_t ttl;      // remaining iterations of the scalar while-loop
+  std::uint16_t index;    // slot in the batch: out[index]
+  std::uint16_t depth;
+  std::uint32_t hops;
+  Label labels[kInlineLabels];
+};
+
+void BatchPipeline::process_sublabel(std::span<const SublabelSpec> specs,
+                                     const std::vector<SublabelFib>& fibs,
+                                     std::vector<SublabelForwardResult>& out) {
+  out.assign(specs.size(), SublabelForwardResult{});
+  for (std::size_t off = 0; off < specs.size(); off += kBatchSize) {
+    const std::size_t n = std::min(kBatchSize, specs.size() - off);
+    run_sublabel_batch(specs.data() + off, n, fibs, out.data() + off);
+  }
+}
+
+void BatchPipeline::run_sublabel_batch(const SublabelSpec* specs,
+                                       std::size_t n,
+                                       const std::vector<SublabelFib>& fibs,
+                                       SublabelForwardResult* out) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t ttl_budget =
+      static_cast<std::uint32_t>(4 * topo_.num_nodes() + 8);
+
+  SubPacket pkts[kBatchSize];
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SublabelSpec& s = specs[i];
+    const auto& labels = s.stack.labels();  // top-first
+    if (labels.size() > kInlineLabels) {
+      // Scalar rerun: deterministic, so the verdict matches what the
+      // fast path would produce with an unlimited inline array.
+      out[i] = forward_sublabel(topo_, fibs, s.start, s.stack);
+      slow_path_.fetch_add(1, std::memory_order_relaxed);
+      sublabel_packets_.fetch_add(1, std::memory_order_relaxed);
+      if (out[i].delivered)
+        sublabel_delivered_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SubPacket& p = pkts[live];
+    p.at = s.start;
+    p.ttl = ttl_budget;
+    p.index = static_cast<std::uint16_t>(i);
+    p.depth = static_cast<std::uint16_t>(labels.size());
+    p.hops = 0;
+    for (std::size_t j = 0; j < labels.size(); ++j)
+      p.labels[labels.size() - 1 - j] = labels[j];
+    out[i].trace.push_back(p.at);
+    ++live;
+  }
+  while (live > 0) live = sublabel_round(pkts, live, fibs, out);
+}
+
+std::size_t BatchPipeline::sublabel_round(SubPacket* pkts, std::size_t live,
+                                          const std::vector<SublabelFib>& fibs,
+                                          SublabelForwardResult* out) {
+  std::size_t keep = 0;
+  const auto finish_sub = [&](SubPacket& p, bool delivered) {
+    SublabelForwardResult& r = out[p.index];
+    r.delivered = delivered;
+    r.final_node = p.at;
+    r.hops = p.hops;
+    sublabel_packets_.fetch_add(1, std::memory_order_relaxed);
+    if (delivered) sublabel_delivered_.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (std::size_t i = 0; i < live; ++i) {
+    SubPacket& p = pkts[i];
+    // Exactly one iteration of forward_sublabel's `while (ttl-- > 0)`.
+    if (p.ttl == 0) {
+      finish_sub(p, false);
+      continue;
+    }
+    --p.ttl;
+    if (p.depth == 0) {
+      finish_sub(p, true);
+      continue;
+    }
+    if (p.at >= fibs.size()) {
+      finish_sub(p, false);  // uncovered node: miss, not out-of-range index
+      continue;
+    }
+    const auto entry = fibs[p.at].lookup(p.labels[p.depth - 1]);
+    if (!entry) {
+      finish_sub(p, false);  // table miss: drop
+      continue;
+    }
+    bool done = false;
+    switch (entry->action) {
+      case SublabelAction::kPopDeliver:
+        --p.depth;
+        finish_sub(p, p.depth == 0);
+        done = true;
+        break;
+      case SublabelAction::kPopForward:
+        --p.depth;
+        break;
+      case SublabelAction::kKeepForward:
+        break;
+    }
+    if (done) continue;
+    const topo::Link& l = topo_.link(entry->out_link);
+    if (!l.up) {
+      finish_sub(p, false);  // no FRR modeled in the sublabel walk
+      continue;
+    }
+    p.at = l.dst;
+    ++p.hops;
+    out[p.index].trace.push_back(p.at);
+    if (&p != &pkts[keep]) pkts[keep] = p;
+    ++keep;
+  }
+  return keep;
+}
+
 PipelineStats BatchPipeline::stats() const {
   PipelineStats s;
   s.packets = packets_.load(std::memory_order_relaxed);
@@ -315,6 +517,8 @@ PipelineStats BatchPipeline::stats() const {
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.frr_activations = frr_.load(std::memory_order_relaxed);
   s.slow_path_packets = slow_path_.load(std::memory_order_relaxed);
+  s.sublabel_packets = sublabel_packets_.load(std::memory_order_relaxed);
+  s.sublabel_delivered = sublabel_delivered_.load(std::memory_order_relaxed);
   s.last_epoch = last_epoch_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < s.by_outcome.size(); ++i)
     s.by_outcome[i] = by_outcome_[i].load(std::memory_order_relaxed);

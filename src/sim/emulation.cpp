@@ -37,6 +37,20 @@ std::unique_ptr<core::Controller> DsdnEmulation::make_controller(
   cc.bypass_strategy = config_.bypass_strategy;
   cc.incremental_te = config_.incremental_te;
   cc.te_diff_check = config_.te_diff_check;
+  if (!config_.algorithms.empty()) {
+    if (config_.algorithms.size() != topo_.num_nodes())
+      throw std::invalid_argument("EmulationConfig::algorithms size mismatch");
+    cc.algorithm = config_.algorithms[n];
+    cc.advertise_algorithm = true;
+    cc.mixed_fleet = true;
+    cc.incremental_te = false;  // mixed fleets solve cold each recompute
+    // Any SR member means every router transits segment labels.
+    cc.program_sr = std::any_of(
+        config_.algorithms.begin(), config_.algorithms.end(),
+        [](core::PathingAlgorithm a) {
+          return a == core::PathingAlgorithm::kSegmentRouting;
+        });
+  }
   auto c = std::make_unique<core::Controller>(cc, topo_);
   // A non-trivial recompute policy rides on measurement epochs; kEvery
   // attaches nothing so the classic paths stay byte-identical. A

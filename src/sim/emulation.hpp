@@ -69,6 +69,14 @@ struct EmulationConfig {
   // ticks its policy on the same converged views, and crash barriers
   // reset the policies fleet-wide.
   te::RecomputePolicyOptions recompute_policy;
+  // Per-router pathing algorithm (§3.2 upgrades / SR rollout). Empty =
+  // every router runs the stock solver via the classic LocalSolver path
+  // (zero behavior change). Non-empty (size num_nodes): every controller
+  // runs a MixedAlgorithmSolver keyed off the advertised TLVs, routers
+  // advertise their assigned algorithm, incremental_te is forced off,
+  // and -- when any member runs kSegmentRouting -- every router programs
+  // its node-segment FIB on each recompute.
+  std::vector<core::PathingAlgorithm> algorithms;
 };
 
 class DsdnEmulation final : public dataplane::DataplaneProvider {

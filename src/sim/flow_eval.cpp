@@ -17,9 +17,72 @@ InstalledRouting InstalledRouting::from_solution(
   return r;
 }
 
+namespace {
+
+// Branch cap per SR route expansion: generous relative to real ECMP
+// fan-out (<= 3 segments, small per-hop width), so dropped branches --
+// which get charged as loss -- only occur on pathological FIBs.
+constexpr std::size_t kMaxSrExpansions = 64;
+
+// DFS through the installed SrFibs: follow the up members toward each
+// segment target with uniform per-hop splits; a node whose members are
+// all down terminates its branch ON the dead link (structurally scored
+// as dropped, like the forwarder); a missing entry abandons the branch
+// (its weight is charged as loss).
+void expand_sr_route(const topo::Topology& topo,
+                     const dataplane::DataplaneProvider& dataplanes,
+                     topo::NodeId at, std::size_t seg_idx,
+                     const std::vector<topo::NodeId>& segments,
+                     std::vector<topo::LinkId>& links, double frac,
+                     std::size_t max_hops,
+                     std::vector<te::WeightedPath>& out) {
+  if (out.size() >= kMaxSrExpansions) return;
+  if (seg_idx == segments.size()) {
+    te::WeightedPath wp;
+    wp.path.links = links;
+    wp.weight = frac;
+    wp.segments = segments;
+    out.push_back(std::move(wp));
+    return;
+  }
+  const topo::NodeId target = segments[seg_idx];
+  if (at == target) {
+    expand_sr_route(topo, dataplanes, at, seg_idx + 1, segments, links, frac,
+                    max_hops, out);
+    return;
+  }
+  if (links.size() >= max_hops) return;  // cycling FIBs: abandon branch
+  const std::vector<dataplane::SrNextHop>* members =
+      dataplanes.at(at).sr.members(target);
+  if (!members) return;
+  std::vector<const dataplane::SrNextHop*> up;
+  for (const dataplane::SrNextHop& m : *members) {
+    if (topo.link(m.link).up) up.push_back(&m);
+  }
+  if (up.empty()) {
+    te::WeightedPath wp;
+    wp.path.links = links;
+    wp.path.links.push_back(members->front().link);  // the dead hop
+    wp.weight = frac;
+    wp.segments = segments;
+    out.push_back(std::move(wp));
+    return;
+  }
+  const double split = frac / static_cast<double>(up.size());
+  for (const dataplane::SrNextHop* m : up) {
+    links.push_back(m->link);
+    expand_sr_route(topo, dataplanes, m->next, seg_idx, segments, links,
+                    split, max_hops, out);
+    links.pop_back();
+  }
+}
+
+}  // namespace
+
 InstalledRouting InstalledRouting::from_dataplane(
     const traffic::TrafficMatrix& tm,
-    const dataplane::DataplaneProvider& dataplanes) {
+    const dataplane::DataplaneProvider& dataplanes,
+    const topo::Topology* topo) {
   InstalledRouting r;
   r.rows.resize(tm.size());
   const auto& demands = tm.demands();
@@ -29,6 +92,30 @@ InstalledRouting InstalledRouting::from_dataplane(
         dataplanes.at(d.src).ingress.routes_for(d.dst, d.priority);
     if (!entry) continue;  // nothing installed: scored as blackholed
     for (const dataplane::WeightedRoute& wr : entry->routes) {
+      const auto& labels = wr.stack.labels();
+      if (!labels.empty() && dataplane::is_node_segment_label(labels[0])) {
+        if (!topo) continue;  // cannot expand: weight charged as loss
+        std::vector<topo::NodeId> segments;
+        segments.reserve(labels.size());
+        bool well_formed = true;
+        for (dataplane::Label l : labels) {
+          if (!dataplane::is_node_segment_label(l)) {
+            well_formed = false;  // mixed stack: no encoder emits this
+            break;
+          }
+          segments.push_back(dataplane::segment_node(l));
+        }
+        if (!well_formed) continue;
+        std::vector<te::WeightedPath> expanded;
+        std::vector<topo::LinkId> links;
+        expand_sr_route(*topo, dataplanes, d.src, 0, segments, links,
+                        wr.weight, dataplane::forward_hop_bound(*topo),
+                        expanded);
+        for (te::WeightedPath& wp : expanded) {
+          r.rows[i].push_back(std::move(wp));
+        }
+        continue;
+      }
       r.rows[i].push_back(te::WeightedPath{
           dataplane::decode_strict_route(wr.stack), wr.weight});
     }

@@ -41,9 +41,19 @@ struct InstalledRouting {
   // from_solution, this sees partial installs, stale routes left over a
   // dead link, and missing entries -- which is exactly what the scenario
   // invariant checkers need to audit.
+  //
+  // Segment-routed entries (node-segment stacks) are expanded through
+  // the routers' installed SrFibs into concrete weighted underlay paths
+  // (uniform per-hop ECMP split); this needs link liveness, so pass
+  // `topo`. Without it SR routes are skipped (their weight is charged as
+  // loss, like any uninstalled route). A transit whose members toward
+  // the segment target are all down contributes a branch ending on the
+  // dead link, which the structural evaluator scores as dropped --
+  // mirroring the forwarder's link-down drop.
   static InstalledRouting from_dataplane(
       const traffic::TrafficMatrix& tm,
-      const dataplane::DataplaneProvider& dataplanes);
+      const dataplane::DataplaneProvider& dataplanes,
+      const topo::Topology* topo = nullptr);
 };
 
 struct LossReport {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 
+#include "core/upgrade.hpp"
 #include "sim/flow_eval.hpp"
 #include "te/incremental.hpp"
 #include "util/format.hpp"
@@ -52,6 +54,59 @@ void check_converged_views(const DsdnEmulation& emu, InvariantReport& out) {
   }
 }
 
+// Walks one node segment through the installed SrFibs: every ECMP
+// branch from `from` must reach `target` over up links without cycling.
+// DFS with on-stack marking -- a back edge IS a potential forwarding
+// loop, since the ECMP hash can pick any up member.
+bool walk_segment(const DsdnEmulation& emu, const topo::Topology& topo,
+                  topo::NodeId from, topo::NodeId target,
+                  const std::string& where, InvariantReport& out) {
+  // 0 = unvisited, 1 = on the DFS stack, 2 = verified to reach target.
+  std::vector<char> state(topo.num_nodes(), 0);
+  const std::function<bool(topo::NodeId)> dfs = [&](topo::NodeId v) {
+    if (v == target) return true;
+    if (state[v] == 2) return true;
+    if (state[v] == 1) {
+      out.violations.push_back(where + ": SR cycle via node " +
+                               std::to_string(v) + " toward segment " +
+                               std::to_string(target));
+      return false;
+    }
+    state[v] = 1;
+    const std::vector<dataplane::SrNextHop>* members =
+        emu.at(v).sr.members(target);
+    if (!members) {
+      out.violations.push_back(where + ": SR FIB miss at node " +
+                               std::to_string(v) + " toward segment " +
+                               std::to_string(target));
+      return false;
+    }
+    std::size_t n_up = 0;
+    for (const dataplane::SrNextHop& m : *members) {
+      const topo::Link& l = topo.link(m.link);
+      if (l.src != v) {
+        out.violations.push_back(where + ": SR entry at node " +
+                                 std::to_string(v) + " leaves from node " +
+                                 std::to_string(l.src));
+        return false;
+      }
+      if (!l.up) continue;
+      ++n_up;
+      if (!dfs(l.dst)) return false;
+    }
+    if (n_up == 0) {
+      out.violations.push_back(
+          where + ": SR members all down at node " + std::to_string(v) +
+          " toward segment " + std::to_string(target) +
+          " (stale FIB past convergence)");
+      return false;
+    }
+    state[v] = 2;
+    return true;
+  };
+  return dfs(from);
+}
+
 // Replays every installed headend route label-by-label through the
 // transit FIBs of the routers it visits: no loops, no down links, no
 // table misses, ends at the route's egress.
@@ -67,6 +122,36 @@ void check_fib_walk(const DsdnEmulation& emu, InvariantReport& out) {
             "router " + std::to_string(n) + " route " +
             std::to_string(route_idx++) + " to egress " +
             std::to_string(egress) + " class " + std::to_string(key.second);
+        const auto& labels = wr.stack.labels();
+        if (!labels.empty() && dataplane::is_node_segment_label(labels[0])) {
+          // Segment-routed: each node segment must be reachable over the
+          // installed ECMP DAG (revisits across segments are legal -- a
+          // later segment may cross an earlier one's territory -- so the
+          // walk state resets per segment).
+          topo::NodeId sr_at = n;
+          bool sr_broken = false;
+          for (dataplane::Label label : labels) {
+            if (!dataplane::is_node_segment_label(label)) {
+              out.violations.push_back(
+                  where + ": mixed segment/strict label stack");
+              sr_broken = true;
+              break;
+            }
+            const topo::NodeId target = dataplane::segment_node(label);
+            if (target == sr_at) continue;
+            if (!walk_segment(emu, topo, sr_at, target, where, out)) {
+              sr_broken = true;
+              break;
+            }
+            sr_at = target;
+          }
+          if (!sr_broken && sr_at != egress) {
+            out.violations.push_back(where + ": segment route ends at node " +
+                                     std::to_string(sr_at) +
+                                     " short of its egress");
+          }
+          continue;
+        }
         std::vector<char> visited(topo.num_nodes(), 0);
         topo::NodeId at = n;
         visited[at] = 1;
@@ -127,7 +212,7 @@ void check_no_blackholes(const DsdnEmulation& emu, InvariantReport& out) {
   const topo::Topology& topo = emu.network();
   const traffic::TrafficMatrix& tm = emu.demands();
   const InstalledRouting routing =
-      InstalledRouting::from_dataplane(tm, emu);
+      InstalledRouting::from_dataplane(tm, emu, &topo);
   const LossReport congested = evaluate_loss(topo, tm, routing);
   LossOptions structural_only;
   structural_only.congestion = false;
@@ -228,11 +313,29 @@ void check_cold_solve_parity(const DsdnEmulation& emu,
     }
     solved_tm = traffic::TrafficMatrix(std::move(rows));
   }
-  const te::DiffChecker::Report report = te::DiffChecker::check(
-      c.state().view(),
-      options.parity_against_solved_demands ? solved_tm
-                                            : c.state().demands(),
-      c.last_solution(), emu.config().solver_options, dc);
+  const traffic::TrafficMatrix& parity_tm =
+      options.parity_against_solved_demands ? solved_tm : c.state().demands();
+  te::DiffChecker::Report report;
+  if (!emu.config().algorithms.empty()) {
+    // Mixed-algorithm fleet: the stock solver cannot reproduce the
+    // placement, so the reference is the same MixedAlgorithmSolver the
+    // controllers run, keyed off the *configured* per-router algorithms
+    // (identical to the converged TLVs, since every member advertises
+    // its configured algorithm).
+    const std::vector<core::PathingAlgorithm> algos =
+        emu.config().algorithms;
+    const core::MixedAlgorithmSolver reference_solver(
+        emu.config().solver_options,
+        [algos](topo::NodeId node) { return algos.at(node); });
+    const te::Solution reference =
+        reference_solver.solve(c.state().view(), parity_tm, nullptr);
+    report = te::DiffChecker::check_against(c.state().view(), parity_tm,
+                                            c.last_solution(), reference, dc);
+  } else {
+    report = te::DiffChecker::check(c.state().view(), parity_tm,
+                                    c.last_solution(),
+                                    emu.config().solver_options, dc);
+  }
   for (const std::string& v : report.violations) {
     out.violations.push_back("cold-solve parity: " + v);
   }

@@ -122,7 +122,7 @@ OnlineTeResult run_online_te(const topo::Topology& topo,
 
     // Score against the omniscient same-tick cold solve of the truth.
     const InstalledRouting routing =
-        InstalledRouting::from_dataplane(oracle, emu);
+        InstalledRouting::from_dataplane(oracle, emu, &emu.network());
     const LossReport loss = evaluate_loss(emu.network(), oracle, routing);
     double achieved = 0.0;
     const auto& rows = oracle.demands();

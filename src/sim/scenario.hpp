@@ -84,6 +84,12 @@ struct ScenarioOptions {
   te::SolverOptions solver;
   InvariantOptions invariants;
 
+  // Per-router pathing algorithms (EmulationConfig::algorithms): empty =
+  // the classic all-TE fleet; non-empty runs the mixed-algorithm solver
+  // on every router (SR / shortest-path / strict TE coexistence), forces
+  // incremental_te off, and exercises the SR dataplane under churn.
+  std::vector<core::PathingAlgorithm> algorithms;
+
   // Packet-level scoring (sim/packet_score.hpp): after every applied
   // event, sample packets from the current demand matrix and drive them
   // through the batched pipeline over RCU FIB snapshots; any outcome

@@ -45,6 +45,14 @@ DiffChecker::Report DiffChecker::check(const topo::Topology& topo,
                                        const Solution& solution,
                                        const SolverOptions& solver_options,
                                        const Options& options) {
+  return check_against(topo, tm, solution,
+                       Solver(solver_options).solve(topo, tm), options);
+}
+
+DiffChecker::Report DiffChecker::check_against(
+    const topo::Topology& topo, const traffic::TrafficMatrix& tm,
+    const Solution& solution, const Solution& reference,
+    const Options& options) {
   DSDN_TRACE_SPAN("te.diff_check");
   Report report;
   constexpr std::size_t kMaxViolations = 64;
@@ -105,8 +113,7 @@ DiffChecker::Report DiffChecker::check(const topo::Topology& topo,
               std::to_string(link.capacity_gbps));
   }
 
-  // ---- Throughput parity vs a from-scratch solve.
-  const Solution reference = Solver(solver_options).solve(topo, tm);
+  // ---- Throughput parity vs the reference solve.
   report.solution_total_gbps = solution.total_allocated_gbps();
   report.reference_total_gbps = reference.total_allocated_gbps();
   const double denom = std::max(report.reference_total_gbps, 1e-6);

@@ -125,6 +125,16 @@ class DiffChecker {
                       const SolverOptions& solver_options) {
     return check(topo, tm, solution, solver_options, Options{});
   }
+
+  // Same checks against a caller-supplied reference Solution instead of
+  // a fresh stock solve -- for solutions the stock solver cannot
+  // reproduce (mixed-algorithm fleets, segment routing), where the
+  // reference comes from re-running the matching solver.
+  static Report check_against(const topo::Topology& topo,
+                              const traffic::TrafficMatrix& tm,
+                              const Solution& solution,
+                              const Solution& reference,
+                              const Options& options);
 };
 
 class IncrementalSolver {

@@ -1,0 +1,382 @@
+#include "te/segment_routing.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace dsdn::te {
+
+SrUnderlay SrUnderlay::build(const topo::Topology& topo) {
+  SrUnderlay u;
+  u.n_ = topo.num_nodes();
+  u.dist_to_.assign(u.n_, std::vector<double>(u.n_, kInf));
+  // One reverse Dijkstra per target over up links (in_links traversal)
+  // gives dist(v, t) for every v in a single pass.
+  using QueueEntry = std::pair<double, topo::NodeId>;
+  for (topo::NodeId t = 0; t < u.n_; ++t) {
+    std::vector<double>& dist = u.dist_to_[t];
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        pq;
+    dist[t] = 0.0;
+    pq.push({0.0, t});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      for (topo::LinkId lid : topo.node(v).in_links) {
+        const topo::Link& l = topo.link(lid);
+        if (!l.up) continue;
+        const double nd = d + l.igp_metric;
+        if (nd < dist[l.src]) {
+          dist[l.src] = nd;
+          pq.push({nd, l.src});
+        }
+      }
+    }
+  }
+  return u;
+}
+
+std::vector<topo::LinkId> SrUnderlay::ecmp_members(const topo::Topology& topo,
+                                                   topo::NodeId u,
+                                                   topo::NodeId t) const {
+  std::vector<topo::LinkId> members;
+  if (u == t) return members;
+  const double du = dist(u, t);
+  if (du >= kInf) return members;
+  const double eps = sr_eps(du);
+  for (topo::LinkId lid : topo.node(u).out_links) {
+    const topo::Link& l = topo.link(lid);
+    if (!l.up) continue;
+    const double through = l.igp_metric + dist(l.dst, t);
+    if (through <= du + eps) members.push_back(lid);
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+std::vector<topo::NodeId> rank_middlepoints(const SrUnderlay& underlay,
+                                            std::size_t k) {
+  const std::size_t n = underlay.num_nodes();
+  // score(v) = ordered pairs (s, t) whose shortest path can pass v.
+  std::vector<std::uint64_t> score(n, 0);
+  for (topo::NodeId s = 0; s < n; ++s) {
+    for (topo::NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const double dst = underlay.dist(s, t);
+      if (dst >= SrUnderlay::kInf) continue;
+      const double eps = sr_eps(dst);
+      for (topo::NodeId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        const double via = underlay.dist(s, v) + underlay.dist(v, t);
+        if (via <= dst + eps) ++score[v];
+      }
+    }
+  }
+  std::vector<topo::NodeId> ranked(n);
+  for (topo::NodeId v = 0; v < n; ++v) ranked[v] = v;
+  std::sort(ranked.begin(), ranked.end(),
+            [&](topo::NodeId a, topo::NodeId b) {
+              if (score[a] != score[b]) return score[a] > score[b];
+              return a < b;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<SegmentRoute> segment_route_candidates(
+    const SrUnderlay& underlay, topo::NodeId src, topo::NodeId dst,
+    const std::vector<topo::NodeId>& middlepoints, const SrOptions& opts) {
+  std::vector<SegmentRoute> routes;
+  if (src == dst) return routes;
+
+  const auto leg = [&](topo::NodeId a, topo::NodeId b) {
+    return underlay.dist(a, b);
+  };
+  if (underlay.reachable(src, dst)) {
+    routes.push_back({{dst}, leg(src, dst)});
+  }
+  const auto usable = [&](topo::NodeId m) { return m != src && m != dst; };
+  if (opts.max_segments >= 2) {
+    const std::size_t pool =
+        std::min(opts.num_middlepoints, middlepoints.size());
+    for (std::size_t i = 0; i < pool; ++i) {
+      const topo::NodeId m = middlepoints[i];
+      if (!usable(m)) continue;
+      const double c = leg(src, m) + leg(m, dst);
+      if (c >= SrUnderlay::kInf) continue;
+      routes.push_back({{m, dst}, c});
+    }
+  }
+  if (opts.max_segments >= 3) {
+    const std::size_t pool =
+        std::min(opts.pair_middlepoints, middlepoints.size());
+    for (std::size_t i = 0; i < pool; ++i) {
+      for (std::size_t j = 0; j < pool; ++j) {
+        if (i == j) continue;
+        const topo::NodeId m1 = middlepoints[i];
+        const topo::NodeId m2 = middlepoints[j];
+        if (!usable(m1) || !usable(m2)) continue;
+        const double c = leg(src, m1) + leg(m1, m2) + leg(m2, dst);
+        if (c >= SrUnderlay::kInf) continue;
+        routes.push_back({{m1, m2, dst}, c});
+      }
+    }
+  }
+  std::sort(routes.begin(), routes.end(),
+            [](const SegmentRoute& a, const SegmentRoute& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.segments.size() != b.segments.size())
+                return a.segments.size() < b.segments.size();
+              return a.segments < b.segments;
+            });
+  if (routes.size() > opts.max_candidates) routes.resize(opts.max_candidates);
+  return routes;
+}
+
+namespace {
+
+struct SegPath {
+  std::vector<topo::LinkId> links;
+  double frac = 1.0;
+};
+
+// DFS over the ECMP DAG from s to t, members in link-id order, frac =
+// product of per-node uniform splits; capped + renormalized.
+std::vector<SegPath> enumerate_segment_paths(const topo::Topology& topo,
+                                             const SrUnderlay& underlay,
+                                             topo::NodeId s, topo::NodeId t,
+                                             std::size_t cap) {
+  std::vector<SegPath> paths;
+  if (s == t) {
+    paths.push_back({{}, 1.0});
+    return paths;
+  }
+  std::vector<topo::LinkId> links;
+  const std::function<void(topo::NodeId, double)> dfs =
+      [&](topo::NodeId u, double frac) {
+        if (paths.size() >= cap) return;
+        if (u == t) {
+          paths.push_back({links, frac});
+          return;
+        }
+        const std::vector<topo::LinkId> members =
+            underlay.ecmp_members(topo, u, t);
+        if (members.empty()) return;  // partitioned mid-DFS view: dead end
+        const double split = frac / static_cast<double>(members.size());
+        for (topo::LinkId lid : members) {
+          if (paths.size() >= cap) return;
+          links.push_back(lid);
+          dfs(topo.link(lid).dst, split);
+          links.pop_back();
+        }
+      };
+  dfs(s, 1.0);
+  double total = 0.0;
+  for (const SegPath& p : paths) total += p.frac;
+  if (total > 0.0) {
+    for (SegPath& p : paths) p.frac /= total;
+  }
+  return paths;
+}
+
+}  // namespace
+
+std::vector<WeightedPath> expand_segment_route(
+    const topo::Topology& topo, const SrUnderlay& underlay, topo::NodeId src,
+    const std::vector<topo::NodeId>& segments, const SrOptions& opts) {
+  // Per-segment enumeration, then a capped cross-product concatenation.
+  std::vector<SegPath> combos = {{{}, 1.0}};
+  topo::NodeId at = src;
+  for (topo::NodeId target : segments) {
+    const std::vector<SegPath> seg_paths = enumerate_segment_paths(
+        topo, underlay, at, target, opts.max_paths_per_segment);
+    if (seg_paths.empty()) return {};
+    std::vector<SegPath> next;
+    for (const SegPath& c : combos) {
+      for (const SegPath& sp : seg_paths) {
+        if (next.size() >= opts.max_expansions_per_route) break;
+        SegPath joined;
+        joined.links = c.links;
+        joined.links.insert(joined.links.end(), sp.links.begin(),
+                            sp.links.end());
+        joined.frac = c.frac * sp.frac;
+        next.push_back(std::move(joined));
+      }
+      if (next.size() >= opts.max_expansions_per_route) break;
+    }
+    combos = std::move(next);
+    at = target;
+  }
+
+  // Drop concatenations that revisit a node -- Path feasibility (and the
+  // dataplane hop bound) requires loop-freedom -- and renormalize.
+  std::vector<WeightedPath> out;
+  double total = 0.0;
+  for (SegPath& c : combos) {
+    bool loop_free = true;
+    std::vector<topo::NodeId> seen = {src};
+    for (topo::LinkId lid : c.links) {
+      const topo::NodeId nxt = topo.link(lid).dst;
+      if (std::find(seen.begin(), seen.end(), nxt) != seen.end()) {
+        loop_free = false;
+        break;
+      }
+      seen.push_back(nxt);
+    }
+    if (!loop_free || c.links.empty()) continue;
+    WeightedPath wp;
+    wp.path.links = std::move(c.links);
+    wp.weight = c.frac;
+    wp.segments = segments;
+    total += c.frac;
+    out.push_back(std::move(wp));
+  }
+  if (total <= 0.0) return {};
+  for (WeightedPath& wp : out) wp.weight /= total;
+  return out;
+}
+
+Solution SrSolver::solve(const topo::Topology& topo,
+                         const traffic::TrafficMatrix& tm,
+                         const std::vector<double>* residual_override) const {
+  const auto& demands = tm.demands();
+  Solution sol;
+  sol.allocations.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    sol.allocations[i].demand = demands[i];
+
+  std::vector<double> residual;
+  if (residual_override) {
+    residual = *residual_override;
+  } else {
+    residual.resize(topo.num_links());
+    for (topo::LinkId l = 0; l < topo.num_links(); ++l)
+      residual[l] = topo.link(l).capacity_gbps;
+  }
+
+  const SrUnderlay underlay = SrUnderlay::build(topo);
+  const std::vector<topo::NodeId> middlepoints = rank_middlepoints(
+      underlay, std::max(sr_.num_middlepoints, sr_.pair_middlepoints));
+
+  // Per-candidate placement state: the ECMP expansions and the per-link
+  // charge fraction they imply (sum of the fracs of expansions crossing
+  // the link). Granting g Gbps deducts g*frac from each touched link, and
+  // the same products become the output weights -- so conservation is
+  // exact by construction.
+  struct Candidate {
+    std::vector<topo::NodeId> segments;
+    std::vector<WeightedPath> expansions;       // frac in weight, sums to 1
+    std::vector<std::pair<topo::LinkId, double>> link_frac;
+    double mass = 0.0;  // Gbps granted to this candidate
+  };
+  struct DemandState {
+    std::size_t index = 0;
+    double rate = 0.0;
+    double remaining = 0.0;
+    bool active = false;
+    std::vector<Candidate> candidates;
+  };
+
+  for (int cls = 0; cls < metrics::kNumPriorityClasses; ++cls) {
+    std::vector<DemandState> states;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const traffic::Demand& d = demands[i];
+      if (static_cast<int>(d.priority) != cls) continue;
+      if (d.rate_gbps <= options_.epsilon_gbps) continue;
+      DemandState st;
+      st.index = i;
+      st.rate = d.rate_gbps;
+      st.remaining = d.rate_gbps;
+      const std::vector<SegmentRoute> routes =
+          segment_route_candidates(underlay, d.src, d.dst, middlepoints, sr_);
+      for (const SegmentRoute& route : routes) {
+        Candidate cand;
+        cand.segments = route.segments;
+        cand.expansions =
+            expand_segment_route(topo, underlay, d.src, route.segments, sr_);
+        if (cand.expansions.empty()) continue;
+        std::vector<double> frac(topo.num_links(), 0.0);
+        for (const WeightedPath& wp : cand.expansions) {
+          for (topo::LinkId l : wp.path.links) frac[l] += wp.weight;
+        }
+        for (topo::LinkId l = 0; l < topo.num_links(); ++l) {
+          if (frac[l] > 0.0) cand.link_frac.push_back({l, frac[l]});
+        }
+        st.candidates.push_back(std::move(cand));
+      }
+      st.active = !st.candidates.empty();
+      states.push_back(std::move(st));
+    }
+
+    // Progressive filling, same round discipline as te::Solver.
+    for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+      double max_remaining = 0.0;
+      for (const DemandState& st : states) {
+        if (st.active && st.remaining > max_remaining)
+          max_remaining = st.remaining;
+      }
+      if (max_remaining <= options_.epsilon_gbps) break;
+      const double quantum = detail::round_quantum(options_, max_remaining);
+      bool progressed = false;
+      for (DemandState& st : states) {
+        if (!st.active) continue;
+        const double sliver =
+            detail::sliver_threshold(options_, quantum, st.remaining);
+        Candidate* chosen = nullptr;
+        double grant = 0.0;
+        // First candidate (cost order) able to carry a meaningful sliver
+        // of this round's quantum wins -- shortest-first, like the strict
+        // solver's preferred-path step.
+        for (Candidate& cand : st.candidates) {
+          double g = std::min(quantum, st.remaining);
+          for (const auto& [l, f] : cand.link_frac) {
+            const double cap = residual[l] / f;
+            if (cap < g) g = cap;
+          }
+          if (g > sliver) {
+            chosen = &cand;
+            grant = g;
+            break;
+          }
+        }
+        if (!chosen) {
+          st.active = false;  // frozen: no capacity-feasible candidate
+          continue;
+        }
+        for (const auto& [l, f] : chosen->link_frac) {
+          residual[l] = std::max(0.0, residual[l] - grant * f);
+        }
+        chosen->mass += grant;
+        st.remaining -= grant;
+        progressed = true;
+        if (st.remaining <= st.rate * options_.satisfied_tolerance)
+          st.active = false;  // satisfied
+      }
+      if (!progressed) break;
+    }
+
+    for (DemandState& st : states) {
+      Allocation& a = sol.allocations[st.index];
+      double total = 0.0;
+      for (const Candidate& cand : st.candidates) total += cand.mass;
+      a.allocated_gbps = total;
+      if (total <= options_.epsilon_gbps) {
+        a.allocated_gbps = 0.0;
+        continue;
+      }
+      for (const Candidate& cand : st.candidates) {
+        if (cand.mass <= 0.0) continue;
+        for (const WeightedPath& wp : cand.expansions) {
+          WeightedPath placed = wp;
+          placed.weight = cand.mass * wp.weight / total;
+          a.paths.push_back(std::move(placed));
+        }
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace dsdn::te

@@ -46,6 +46,12 @@ struct Path {
 struct WeightedPath {
   Path path;
   double weight = 1.0;
+  // Non-empty iff this path was placed by the segment-routing solver: the
+  // node-segment stack (1-3 middlepoints then the egress, outermost
+  // first). `path` then holds ONE concrete ECMP expansion of the segment
+  // route (for capacity accounting); the dataplane encodes `segments`,
+  // not `path`, and fans out over the underlay ECMP DAG per segment.
+  std::vector<topo::NodeId> segments;
 
   bool operator==(const WeightedPath&) const = default;
 };

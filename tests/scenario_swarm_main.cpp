@@ -7,7 +7,12 @@
 //   scenario_swarm [--topo abilene|b4|b2small|all] [--seeds N]
 //                  [--start S] [--events N] [--lossy] [--bug]
 //                  [--no-parity] [--artifact-dir DIR] [--planes K]
-//                  [--closed-loop] [--epochs N]
+//                  [--closed-loop] [--epochs N] [--sr]
+//
+// --sr runs every seed with a mixed-algorithm fleet: most routers run
+// segment routing, a third stay on strict max-min TE, and every seventh
+// is a legacy shortest-path box -- so churn, crashes, and lossy floods
+// all exercise the SR dataplane and the mixed-fleet consensus story.
 //
 // --planes K > 0 switches to the hierarchical plane swarm: the same
 // topologies, but each seed drives K sharded dSDN planes through
@@ -49,6 +54,22 @@ struct SwarmConfig {
   traffic::TrafficMatrix tm;
   sim::ScenarioOptions options;
 };
+
+// --sr fleet assignment: deterministic per node id so every seed (and
+// every replay) sees the same mixed fleet.
+std::vector<core::PathingAlgorithm> sr_fleet(std::size_t num_nodes) {
+  std::vector<core::PathingAlgorithm> algos(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    if (n % 3 == 1) {
+      algos[n] = core::PathingAlgorithm::kMaxMinFairTe;
+    } else if (n % 7 == 5) {
+      algos[n] = core::PathingAlgorithm::kShortestPath;
+    } else {
+      algos[n] = core::PathingAlgorithm::kSegmentRouting;
+    }
+  }
+  return algos;
+}
 
 SwarmConfig make_config(const std::string& name, std::size_t n_events,
                         bool lossy, bool bug, bool parity) {
@@ -106,6 +127,7 @@ int main(int argc, char** argv) {
   std::size_t planes = 0;      // > 0: hierarchical plane swarm
   bool closed_loop = false;    // online-TE closed loop instead of churn
   std::uint64_t epochs = 64;   // measurement epochs per closed-loop seed
+  bool sr = false;             // mixed SR / strict-TE / shortest-path fleet
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +163,8 @@ int main(int argc, char** argv) {
       closed_loop = true;
     } else if (arg == "--epochs") {
       epochs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sr") {
+      sr = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -154,6 +178,11 @@ int main(int argc, char** argv) {
   if (closed_loop && (planes > 0 || bug)) {
     std::fprintf(stderr, "--closed-loop composes with neither --planes "
                          "nor --bug\n");
+    return 2;
+  }
+  if (sr && (planes > 0 || closed_loop)) {
+    std::fprintf(stderr, "--sr is a flat-scenario fleet; drop --planes / "
+                         "--closed-loop\n");
     return 2;
   }
 
@@ -256,11 +285,13 @@ int main(int argc, char** argv) {
     }
     const std::size_t n_events = events ? events : default_events(name);
     SwarmConfig cfg = make_config(name, n_events, lossy, bug, parity);
+    if (sr) cfg.options.algorithms = sr_fleet(cfg.topo.num_nodes());
     std::printf("[%s] %zu nodes, %zu links, %zu demands; %zu seeds x %zu "
-                "events%s%s\n",
+                "events%s%s%s\n",
                 name.c_str(), cfg.topo.num_nodes(), cfg.topo.num_links(),
                 cfg.tm.size(), n_seeds, n_events, lossy ? ", lossy" : "",
-                bug ? ", bug planted" : "");
+                bug ? ", bug planted" : "",
+                sr ? ", mixed SR fleet" : "");
     std::fflush(stdout);
 
     const std::optional<sim::SwarmFailure> failure = sim::run_seed_swarm(
@@ -274,10 +305,11 @@ int main(int argc, char** argv) {
                   failure->result.first_violation_event,
                   failure->reproducer.c_str());
       std::printf("  replay: scenario_swarm --topo %s --seeds 1 --start "
-                  "%llu --events %zu%s%s\n",
+                  "%llu --events %zu%s%s%s\n",
                   name.c_str(),
                   static_cast<unsigned long long>(failure->seed), n_events,
-                  lossy ? " --lossy" : "", bug ? " --bug" : "");
+                  lossy ? " --lossy" : "", bug ? " --bug" : "",
+                  sr ? " --sr" : "");
       if (bug) continue;  // expected to fail; keep demonstrating
       break;
     }
@@ -288,8 +320,8 @@ int main(int argc, char** argv) {
     if (!artifact_dir.empty()) {
       const sim::Scenario scenario(cfg.topo, cfg.tm, cfg.options, start);
       const sim::ScenarioResult result = scenario.run();
-      const obs::RunArtifact artifact =
-          scenario.artifact(result, "scenario_" + name);
+      const obs::RunArtifact artifact = scenario.artifact(
+          result, "scenario_" + name + (sr ? "_sr" : ""));
       if (!artifact.write(artifact_dir)) {
         std::fprintf(stderr, "[%s] artifact write failed\n", name.c_str());
       }
